@@ -1,0 +1,43 @@
+// Command enumerate counts the connected configurations of n robots on
+// the triangular grid up to translation (fixed polyhexes) and prints the
+// table the paper's "3652 patterns" figure comes from.
+//
+// Usage:
+//
+//	enumerate [-n 7] [-print] [-parallel]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/enumerate"
+	"repro/internal/viz"
+)
+
+func main() {
+	n := flag.Int("n", 7, "maximum configuration size")
+	print := flag.Bool("print", false, "render every configuration of the largest size")
+	parallel := flag.Bool("parallel", false, "use the parallel enumerator")
+	flag.Parse()
+
+	fmt.Println("size  connected patterns (up to translation)")
+	for k := 1; k <= *n; k++ {
+		var count int
+		if *parallel {
+			count = len(enumerate.ConnectedParallel(k, 0))
+		} else {
+			count = enumerate.Count(k)
+		}
+		marker := ""
+		if k < len(enumerate.KnownCounts) && count == enumerate.KnownCounts[k] {
+			marker = "  ✓"
+		}
+		fmt.Printf("%4d  %d%s\n", k, count, marker)
+	}
+	if *print {
+		for i, c := range enumerate.Connected(*n) {
+			fmt.Printf("\n#%d %s\n%s", i, c.Key(), viz.RenderSimple(c))
+		}
+	}
+}

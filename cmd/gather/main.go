@@ -1,0 +1,101 @@
+// Command gather runs the gathering algorithm from one initial
+// configuration and prints the execution round by round.
+//
+// Usage:
+//
+//	gather [-preset line-e|line-ne|line-se|hexagon] [-key "q,r;q,r;..."]
+//	       [-alg full|no-table|no-reconstruction|paper|idle|greedy]
+//	       [-quiet]
+//
+// The default runs the full algorithm from the east line of seven robots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/viz"
+)
+
+func main() {
+	preset := flag.String("preset", "line-e", "initial configuration preset (line-e, line-ne, line-se, hexagon)")
+	key := flag.String("key", "", "explicit initial configuration as a canonical key (overrides -preset)")
+	algName := flag.String("alg", "full", "algorithm (full, no-table, no-reconstruction, paper, idle, greedy)")
+	quiet := flag.Bool("quiet", false, "print only the summary line")
+	maxRounds := flag.Int("rounds", 1000, "round budget")
+	flag.Parse()
+
+	initial, err := pickInitial(*preset, *key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alg, err := pickAlgorithm(*algName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res := sim.Run(alg, initial, sim.Options{
+		MaxRounds:    *maxRounds,
+		RecordTrace:  !*quiet,
+		DetectCycles: true,
+	})
+	if !*quiet {
+		fmt.Print(viz.RenderTrace(res.Trace, viz.Options{Empty: '.'}))
+		fmt.Println()
+	}
+	fmt.Printf("%s: %v after %d rounds, %d moves\n", alg.Name(), res.Status, res.Rounds, res.Moves)
+	if res.Status != sim.Gathered {
+		os.Exit(1)
+	}
+}
+
+func pickInitial(preset, key string) (config.Config, error) {
+	if key != "" {
+		c, err := config.ParseKey(key)
+		if err != nil {
+			return config.Config{}, err
+		}
+		if c.Len() != 7 {
+			return config.Config{}, fmt.Errorf("gather: key has %d robots, want 7", c.Len())
+		}
+		if !c.Connected() {
+			return config.Config{}, fmt.Errorf("gather: initial configuration must be connected")
+		}
+		return c, nil
+	}
+	switch preset {
+	case "line-e":
+		return config.Line(grid.Origin, grid.E, 7), nil
+	case "line-ne":
+		return config.Line(grid.Origin, grid.NE, 7), nil
+	case "line-se":
+		return config.Line(grid.Origin, grid.SE, 7), nil
+	case "hexagon":
+		return config.Hexagon(grid.Origin), nil
+	}
+	return config.Config{}, fmt.Errorf("gather: unknown preset %q", preset)
+}
+
+func pickAlgorithm(name string) (core.Algorithm, error) {
+	switch name {
+	case "full":
+		return core.Gatherer{}, nil
+	case "no-table":
+		return core.Gatherer{Variant: core.VariantNoTable}, nil
+	case "no-reconstruction":
+		return core.Gatherer{Variant: core.VariantNoReconstruction}, nil
+	case "paper":
+		return core.Gatherer{Variant: core.VariantPaper}, nil
+	case "idle":
+		return core.Idle{}, nil
+	case "greedy":
+		return core.GreedyEast{}, nil
+	}
+	return nil, fmt.Errorf("gather: unknown algorithm %q", name)
+}

@@ -1,0 +1,51 @@
+// Command synth regenerates the synthesized override table of the
+// gathering algorithm (internal/core/overrides_gen.go). It runs the
+// repair loop of internal/synth from an empty table until the exhaustive
+// verification over all 3652 connected initial configurations succeeds,
+// then writes the generated Go source.
+//
+// Usage:
+//
+//	go run ./cmd/synth [-o internal/core/overrides_gen.go] [-iters 60] [-q]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/synth"
+)
+
+func main() {
+	out := flag.String("o", "internal/core/overrides_gen.go", "output file ('-' for stdout)")
+	iters := flag.Int("iters", 120, "maximum repair iterations")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Parse()
+
+	opts := synth.Options{MaxIterations: *iters}
+	if !*quiet {
+		opts.Log = func(format string, args ...any) {
+			log.Printf(format, args...)
+		}
+	}
+	res := synth.Synthesize(nil, opts)
+	if !res.Solved {
+		log.Printf("WARNING: synthesis incomplete after %d iterations; remaining failures: %v",
+			res.Iterations, res.Remaining)
+	} else {
+		log.Printf("solved in %d iterations with %d overrides", res.Iterations, len(res.Table))
+	}
+	src := synth.Format(res.Table)
+	if *out == "-" {
+		fmt.Print(src)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if !res.Solved {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,90 @@
+// Command trace captures, renders and replays executions as JSON records.
+//
+// Usage:
+//
+//	trace -capture -key "0,0;1,0;..." [-o run.json]   record a run
+//	trace -render run.json                            draw a recorded run
+//	trace -replay run.json                            re-simulate and verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/viz"
+)
+
+func main() {
+	capture := flag.Bool("capture", false, "capture a new run")
+	key := flag.String("key", "", "initial configuration for -capture (default: east line)")
+	out := flag.String("o", "", "output file for -capture (default stdout)")
+	render := flag.String("render", "", "render a recorded run file")
+	replay := flag.String("replay", "", "replay and verify a recorded run file")
+	flag.Parse()
+
+	switch {
+	case *capture:
+		initial := config.Line(grid.Origin, grid.E, 7)
+		if *key != "" {
+			c, err := config.ParseKey(*key)
+			if err != nil {
+				log.Fatal(err)
+			}
+			initial = c
+		}
+		rec, res := trace.Capture(core.Gatherer{}, initial, sim.Options{DetectCycles: true})
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := trace.Write(w, rec); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "captured: %v in %d rounds\n", res.Status, res.Rounds)
+
+	case *render != "":
+		rec := mustRead(*render)
+		steps, err := rec.Configs()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(viz.RenderTrace(steps, viz.Options{Empty: '.'}))
+		fmt.Printf("\n%s: %s in %d rounds, %d moves\n", rec.Algorithm, rec.Status, rec.Rounds, rec.Moves)
+
+	case *replay != "":
+		rec := mustRead(*replay)
+		if err := trace.Replay(rec, core.Gatherer{}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replay verified: %d rounds match\n", len(rec.Steps)-1)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func mustRead(path string) trace.Record {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := trace.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rec
+}

@@ -1,0 +1,68 @@
+// Command verify reproduces the paper's Theorem 2 evaluation: it runs the
+// gathering algorithm from every connected initial configuration of seven
+// robots (all 3652 of them) and reports the outcome table, optionally with
+// the rounds histogram and the per-diameter statistics (experiment E7).
+//
+// Usage:
+//
+//	verify [-alg full|no-table|no-reconstruction|paper|idle|greedy]
+//	       [-stats] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exhaustive"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func main() {
+	algName := flag.String("alg", "full", "algorithm (full, no-table, no-reconstruction, paper, idle, greedy)")
+	stats := flag.Bool("stats", false, "print rounds histogram and per-diameter table")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	var alg core.Algorithm
+	switch *algName {
+	case "full":
+		alg = core.Gatherer{}
+	case "no-table":
+		alg = core.Gatherer{Variant: core.VariantNoTable}
+	case "no-reconstruction":
+		alg = core.Gatherer{Variant: core.VariantNoReconstruction}
+	case "paper":
+		alg = core.Gatherer{Variant: core.VariantPaper}
+	case "idle":
+		alg = core.Idle{}
+	case "greedy":
+		alg = core.GreedyEast{}
+	default:
+		fmt.Fprintf(os.Stderr, "verify: unknown algorithm %q\n", *algName)
+		os.Exit(2)
+	}
+
+	report := exhaustive.Verify(alg, exhaustive.Options{Workers: *workers})
+	fmt.Println(report)
+
+	if *stats {
+		rounds := metrics.NewHistogram()
+		for _, c := range report.Cases {
+			if c.Status == sim.Gathered {
+				rounds.Add(c.Rounds)
+			}
+		}
+		fmt.Printf("\nrounds to gather: %s\n%s", rounds.Summary(), rounds)
+		fmt.Println("\nby initial diameter:")
+		fmt.Println("diam  count  max-rounds  mean-rounds")
+		for _, s := range report.RoundsByDiameter() {
+			fmt.Printf("%4d %6d %11d %12.2f\n", s.Diameter, s.Count, s.MaxRounds, s.MeanRounds)
+		}
+	}
+	if !report.AllGathered() {
+		os.Exit(1)
+	}
+}

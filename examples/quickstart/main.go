@@ -1,0 +1,33 @@
+// Quickstart: build a connected configuration of seven robots, run the
+// paper's visibility-range-2 gathering algorithm under FSYNC, and print
+// the before/after pictures.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/viz"
+)
+
+func main() {
+	// Draw any connected 7-robot shape; rows shift by half a cell as on a
+	// triangular grid.
+	initial := config.MustFromASCII(`
+o . o
+ o . o
+  o . o
+   o
+`)
+	fmt.Println("initial configuration:")
+	fmt.Println(viz.Render(initial, viz.Options{Empty: '.'}))
+
+	res := sim.Run(core.Gatherer{}, initial, sim.Options{DetectCycles: true})
+
+	fmt.Printf("result: %v after %d rounds and %d moves\n\n", res.Status, res.Rounds, res.Moves)
+	fmt.Println("final configuration (the filled hexagon of the paper's Fig. 1):")
+	center, _ := res.Final.Center()
+	fmt.Println(viz.Render(res.Final, viz.Options{Empty: '.', Mark: &center}))
+}

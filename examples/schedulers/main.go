@@ -1,0 +1,56 @@
+// Schedulers: the extension experiment E8. The paper proves Theorem 2 for
+// the fully synchronous (FSYNC) model and leaves weaker schedulers as
+// future work; this example runs the same algorithm under a round-robin
+// (centralized) and a random semi-synchronous (SSYNC) scheduler and shows
+// where the FSYNC assumption is load-bearing.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/enumerate"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func main() {
+	fmt.Println("Extension E8: the paper's algorithm under non-FSYNC schedulers")
+	fmt.Println("(paper §V future work). Sample: every 300th of the 3652 initial")
+	fmt.Println("configurations plus the three 7-robot lines.")
+	fmt.Println()
+
+	var sample []config.Config
+	all := enumerate.Connected(7)
+	for i := 0; i < len(all); i += 300 {
+		sample = append(sample, all[i])
+	}
+
+	schedulers := []sched.Scheduler{
+		sched.FSYNC{},
+		sched.RoundRobin{},
+		sched.NewRandomSubset(1),
+	}
+	fmt.Printf("%-14s %9s %8s %9s %8s %7s\n", "scheduler", "gathered", "stalled", "livelock", "collide", "other")
+	for _, s := range schedulers {
+		counts := map[sim.Status]int{}
+		for _, c := range sample {
+			res := sched.Run(core.Gatherer{}, c, s, sim.Options{
+				DetectCycles: true, StopOnDisconnect: true, MaxRounds: 5000,
+			})
+			counts[res.Status]++
+		}
+		other := len(sample) - counts[sim.Gathered] - counts[sim.Stalled] - counts[sim.Livelock] - counts[sim.Collision]
+		fmt.Printf("%-14s %9d %8d %9d %8d %7d\n", s.Name(),
+			counts[sim.Gathered], counts[sim.Stalled], counts[sim.Livelock], counts[sim.Collision], other)
+	}
+
+	fmt.Println()
+	fmt.Println("FSYNC gathers everywhere (Theorem 2). Over the FULL space the")
+	fmt.Println("algorithm is surprisingly robust but not correct outside FSYNC:")
+	fmt.Println("round-robin gathers 3486/3652 (166 cycle forever) and one random")
+	fmt.Println("SSYNC adversary gathers 3651/3652 (1 livelock) — see EXPERIMENTS.md")
+	fmt.Println("§E8. This is why the paper assumes FSYNC and lists weaker models")
+	fmt.Println("as future work.")
+}

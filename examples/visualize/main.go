@@ -1,0 +1,60 @@
+// Visualize: step through an execution like the paper's Fig. 54, printing
+// every round and the moves that produced it.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/vision"
+	"repro/internal/viz"
+)
+
+func main() {
+	// A staircase with a western tail: the kind of configuration the
+	// paper's Fig. 54 walks through (its exact instance is not decodable
+	// from the published figure encoding).
+	initial := config.MustFromASCII(`
+o o
+ o o
+  o o
+   o
+`)
+	fmt.Println("execution walkthrough (cf. paper Fig. 54):")
+	cur := initial
+	for round := 0; ; round++ {
+		fmt.Printf("\n--- round %d\n%s", round, viz.Render(cur, viz.Options{Empty: '.'}))
+		// Show each robot's decision before stepping.
+		moves := 0
+		for _, pos := range cur.Nodes() {
+			v := vision.Look(cur, pos, 2)
+			m := core.Gatherer{}.Compute(v)
+			if m.IsMove() {
+				base, ok := core.BaseNode(v)
+				baseStr := "none"
+				if ok {
+					baseStr = base.String()
+				}
+				fmt.Printf("    robot at %v: base %s -> move %v\n", pos, baseStr, m)
+				moves++
+			}
+		}
+		if moves == 0 {
+			if cur.Gathered() {
+				center, _ := cur.Center()
+				fmt.Printf("\ngathered: hexagon centered at %v\n", center)
+			} else {
+				fmt.Println("\nstalled (unexpected)")
+			}
+			return
+		}
+		next, _, coll := sim.Step(core.Gatherer{}, cur)
+		if coll != nil {
+			fmt.Printf("collision: %v at %v\n", coll.Kind, coll.Node)
+			return
+		}
+		cur = next
+	}
+}

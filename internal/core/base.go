@@ -1,0 +1,49 @@
+package core
+
+import (
+	"repro/internal/grid"
+	"repro/internal/vision"
+)
+
+// BaseNode determines the base node of a view per Section IV-A: the robot
+// node with the strictly largest x-element among all robot nodes within
+// visibility range 2 (possibly the observer's own node, label (0,0)).
+//
+// If several robot nodes tie for the largest x-element there is no base —
+// with one exception: when node (4,0) is empty but both (3,1) and (3,-1)
+// are robot nodes, the *empty* node (4,0) is adopted as the base so that
+// the system cannot reach a configuration in which nobody has a base.
+// (The second exception in the paper — robots at (1,1) and (1,-1) with
+// (2,0) empty — is not a base determination but a movement rule; it is
+// handled in Gatherer.Compute.)
+//
+// The boolean result reports whether a base exists.
+func BaseNode(v vision.View) (grid.Label, bool) {
+	if v.Range() < 2 {
+		panic("core: base-node determination requires visibility range 2")
+	}
+	// Exception first: adopted empty base (4,0).
+	if v.EmptyL(grid.L(4, 0)) && v.RobotL(grid.L(3, 1)) && v.RobotL(grid.L(3, -1)) {
+		return grid.L(4, 0), true
+	}
+	maxX := minInt
+	count := 0
+	var best grid.Label
+	for _, rel := range v.Robots() {
+		l := grid.LabelOf(rel)
+		switch {
+		case l.X > maxX:
+			maxX = l.X
+			best = l
+			count = 1
+		case l.X == maxX:
+			count++
+		}
+	}
+	if count == 1 {
+		return best, true
+	}
+	return grid.Label{}, false
+}
+
+const minInt = -int(^uint(0)>>1) - 1

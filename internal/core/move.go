@@ -1,0 +1,66 @@
+// Package core implements the paper's primary contribution: the
+// visibility-range-2 gathering algorithm for seven robots on triangular
+// grids (Shibata et al., arXiv:2103.08172, Section IV), together with the
+// Algorithm abstraction shared by the simulator and the baseline
+// algorithms used in the evaluation harness.
+package core
+
+import (
+	"repro/internal/grid"
+	"repro/internal/vision"
+)
+
+// Move is the outcome of a robot's Compute phase: either stay at the
+// current node or step to one of the six adjacent nodes.
+type Move uint8
+
+// Stay is the "do not move" decision. The six directional moves are
+// Move(grid.E) … Move(grid.SE); build them with MoveIn.
+const Stay = Move(grid.NumDirections)
+
+// MoveIn returns the decision to step in direction d.
+func MoveIn(d grid.Direction) Move {
+	if !d.Valid() {
+		panic("core: invalid direction")
+	}
+	return Move(d)
+}
+
+// IsMove reports whether the decision is a step (not Stay).
+func (m Move) IsMove() bool { return m != Stay }
+
+// Direction returns the step direction; it panics on Stay.
+func (m Move) Direction() grid.Direction {
+	if m == Stay {
+		panic("core: Stay has no direction")
+	}
+	return grid.Direction(m)
+}
+
+// Apply returns the node the robot occupies after the move.
+func (m Move) Apply(pos grid.Coord) grid.Coord {
+	if m == Stay {
+		return pos
+	}
+	return pos.Step(grid.Direction(m))
+}
+
+// String renders the move ("stay" or the compass direction).
+func (m Move) String() string {
+	if m == Stay {
+		return "stay"
+	}
+	return grid.Direction(m).String()
+}
+
+// Algorithm is an oblivious robot algorithm: a deterministic function from
+// the robot's view to a move. Obliviousness is enforced structurally — the
+// Compute phase receives only the current view, never any history.
+type Algorithm interface {
+	// Name identifies the algorithm in reports and benchmarks.
+	Name() string
+	// VisibilityRange is the range the algorithm's views must be taken at.
+	VisibilityRange() int
+	// Compute maps a view (robot at the relative origin) to a move.
+	Compute(v vision.View) Move
+}

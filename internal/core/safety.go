@@ -1,0 +1,81 @@
+package core
+
+import (
+	"repro/internal/grid"
+	"repro/internal/vision"
+)
+
+// SafeMove exposes the guard to the rule synthesizer (internal/synth),
+// which must only propose override moves the shipped algorithm would
+// accept.
+func SafeMove(v vision.View, d grid.Direction) bool { return safeMove(v, d) }
+
+// safeMove reports whether stepping in direction d preserves connectivity
+// as far as the mover can tell: every robot adjacent to the mover must be
+// reachable from the destination in the subgraph induced by the visible
+// robots minus the mover plus the destination.
+//
+// Why this is the right local invariant: if removing the mover splits the
+// global configuration, every split-off component contains at least one of
+// the mover's direct neighbors, so re-attaching all direct neighbors to
+// the destination re-attaches every component. Visible reachability
+// implies real reachability (visible edges are real edges), so a passing
+// check never breaks connectivity on the static picture. The check is
+// conservative in the other direction — a neighbor might be reachable only
+// through robots outside the 19-node view — but with seven robots the
+// exhaustive verifier confirms the guard never deadlocks a reachable
+// configuration and never lets one disconnect, including under
+// simultaneous moves.
+//
+// The paper states several such guards inline per pseudocode rule and
+// omits the rest ("we omit the detail"); expressing connectivity
+// preservation once, uniformly, is our reconstruction of those omitted
+// behaviours. See DESIGN.md §2.
+func safeMove(v vision.View, d grid.Direction) bool {
+	dest := d.Delta()
+	if v.Robot(dest) {
+		// Moving onto a robot node is never decided by the rules; treat
+		// it as unsafe defensively.
+		return false
+	}
+	// Collect the visible robots except the mover.
+	nodes := make(map[grid.Coord]bool, v.Count())
+	for _, rel := range v.Robots() {
+		if rel != grid.Origin {
+			nodes[rel] = true
+		}
+	}
+	// My direct neighbors: the robots whose connectivity I am responsible
+	// for. A mover with no adjacent robot would already be disconnected;
+	// never wander further.
+	var deps []grid.Coord
+	for _, nd := range grid.Directions {
+		if nodes[nd.Delta()] {
+			deps = append(deps, nd.Delta())
+		}
+	}
+	if len(deps) == 0 {
+		return false
+	}
+	// Flood-fill from the destination over visible robots + destination.
+	nodes[dest] = true
+	stack := []grid.Coord{dest}
+	seen := map[grid.Coord]bool{dest: true}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nd := range grid.Directions {
+			n := cur.Add(nd.Delta())
+			if nodes[n] && !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	for _, dep := range deps {
+		if !seen[dep] {
+			return false
+		}
+	}
+	return true
+}

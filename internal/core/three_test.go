@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/enumerate"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/vision"
+)
+
+// triangleGoal adapts core.TriangleGathered to the simulator's goal option.
+func triangleGoal(c config.Config) bool { return core.TriangleGathered(c.Nodes()) }
+
+// TestThreeRobotGathering is extension E10 (paper §V future work 3, case
+// n = 3): the core.ThreeGatherer reaches a filled triangle from every one of
+// the 11 connected 3-robot patterns, collision-free, in at most 3 rounds.
+func TestThreeRobotGathering(t *testing.T) {
+	initials := enumerate.Connected(3)
+	if len(initials) != 11 {
+		t.Fatalf("enumerated %d 3-robot patterns, want 11", len(initials))
+	}
+	maxRounds := 0
+	for _, c := range initials {
+		res := sim.Run(core.ThreeGatherer{}, c, sim.Options{
+			DetectCycles:     true,
+			StopOnDisconnect: true,
+			MaxRounds:        100,
+			Goal:             triangleGoal,
+		})
+		if res.Status != sim.Gathered {
+			t.Errorf("pattern %s: %v", c.Key(), res.Status)
+		}
+		if res.Rounds > maxRounds {
+			maxRounds = res.Rounds
+		}
+	}
+	if maxRounds > 3 {
+		t.Errorf("three-robot gathering took %d rounds, want <= 3", maxRounds)
+	}
+}
+
+// TestThreeRobotSingleMover: at most one robot moves per round, so
+// collisions are structurally impossible.
+func TestThreeRobotSingleMover(t *testing.T) {
+	for _, c := range enumerate.Connected(3) {
+		movers := 0
+		for _, pos := range c.Nodes() {
+			m := (core.ThreeGatherer{}).Compute(vision.Look(c, pos, 2))
+			if m.IsMove() {
+				movers++
+			}
+		}
+		if movers > 1 {
+			t.Errorf("pattern %s has %d movers", c.Key(), movers)
+		}
+		if !triangleGoal(c) && movers == 0 {
+			t.Errorf("pattern %s stalls", c.Key())
+		}
+		if triangleGoal(c) && movers != 0 {
+			t.Errorf("gathered pattern %s still moves", c.Key())
+		}
+	}
+}
+
+// TestTriangleGathered covers the goal predicate.
+func TestTriangleGathered(t *testing.T) {
+	tri := []grid.Coord{grid.Origin, grid.Origin.Step(grid.E), grid.Origin.Step(grid.NE)}
+	if !core.TriangleGathered(tri) {
+		t.Error("up-triangle not recognized")
+	}
+	line := config.Line(grid.Origin, grid.E, 3).Nodes()
+	if core.TriangleGathered(line) {
+		t.Error("line recognized as triangle")
+	}
+	if core.TriangleGathered(config.Hexagon(grid.Origin).Nodes()) {
+		t.Error("seven robots recognized as triangle")
+	}
+}
+
+// TestThreeGathererIgnoresWrongCounts: on non-3-robot systems the
+// algorithm is inert (it gathers nothing, but also breaks nothing).
+func TestThreeGathererIgnoresWrongCounts(t *testing.T) {
+	hex := config.Hexagon(grid.Origin)
+	for _, pos := range hex.Nodes() {
+		if m := (core.ThreeGatherer{}).Compute(vision.Look(hex, pos, 2)); m != core.Stay {
+			t.Fatalf("moved %v in a seven-robot system", m)
+		}
+	}
+}

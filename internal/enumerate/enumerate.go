@@ -1,0 +1,155 @@
+// Package enumerate generates every connected configuration of n robots on
+// the triangular grid, up to translation. These are exactly the *fixed*
+// polyhexes (triangular-grid node adjacency equals hexagonal cell
+// adjacency); their counts for n = 1..7 are
+//
+//	1, 3, 11, 44, 186, 814, 3652
+//
+// and the paper's "3652 patterns in total" for seven robots is the n = 7
+// entry. Rotations and reflections are NOT identified: the paper's robots
+// share a global compass, so differently oriented patterns are genuinely
+// different inputs.
+package enumerate
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/grid"
+)
+
+// KnownCounts lists the number of connected n-node patterns up to
+// translation for n = 0..7 (fixed polyhexes, OEIS A001207 shifted).
+var KnownCounts = [8]int{0: 1, 1: 1, 2: 3, 3: 11, 4: 44, 5: 186, 6: 814, 7: 3652}
+
+// Connected returns all connected n-node configurations up to translation,
+// sorted by canonical key so the output order is deterministic. It grows
+// patterns one node at a time, deduplicating by normalized key.
+func Connected(n int) []config.Config {
+	if n < 0 {
+		panic("enumerate: negative size")
+	}
+	if n == 0 {
+		return nil
+	}
+	current := map[string]config.Config{
+		config.New(grid.Origin).Key(): config.New(grid.Origin),
+	}
+	for size := 1; size < n; size++ {
+		current = growAll(current)
+	}
+	return sortedValues(current)
+}
+
+// ConnectedParallel is Connected with the growth step fanned out over a
+// worker pool. Results are identical (and identically ordered); it exists
+// for the benchmark harness and for callers enumerating many sizes.
+func ConnectedParallel(n, workers int) []config.Config {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n <= 0 {
+		if n < 0 {
+			panic("enumerate: negative size")
+		}
+		return nil
+	}
+	current := map[string]config.Config{
+		config.New(grid.Origin).Key(): config.New(grid.Origin),
+	}
+	for size := 1; size < n; size++ {
+		current = growAllParallel(current, workers)
+	}
+	return sortedValues(current)
+}
+
+// growAll extends every pattern by one adjacent node, deduplicating.
+func growAll(in map[string]config.Config) map[string]config.Config {
+	out := make(map[string]config.Config, len(in)*4)
+	for _, c := range in {
+		growInto(c, out)
+	}
+	return out
+}
+
+// growInto appends all one-node extensions of c into dst keyed canonically.
+func growInto(c config.Config, dst map[string]config.Config) {
+	set := c.Set()
+	seen := map[grid.Coord]bool{}
+	for _, v := range c.Nodes() {
+		for _, nb := range v.Neighbors() {
+			if set[nb] || seen[nb] {
+				continue
+			}
+			seen[nb] = true
+			ext := config.New(append(c.Nodes(), nb)...).Normalize()
+			dst[ext.Key()] = ext
+		}
+	}
+}
+
+func growAllParallel(in map[string]config.Config, workers int) map[string]config.Config {
+	if len(in) < 64 || workers == 1 {
+		return growAll(in)
+	}
+	jobs := make(chan config.Config, workers)
+	partial := make([]map[string]config.Config, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make(map[string]config.Config)
+			for c := range jobs {
+				growInto(c, local)
+			}
+			partial[w] = local
+		}(w)
+	}
+	for _, c := range in {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+	out := make(map[string]config.Config, len(in)*4)
+	for _, m := range partial {
+		for k, v := range m {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func sortedValues(m map[string]config.Config) []config.Config {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]config.Config, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}
+
+// Count returns the number of connected n-node patterns without retaining
+// them all; it still enumerates (no closed form is known) but avoids the
+// final sort.
+func Count(n int) int {
+	if n <= 0 {
+		if n < 0 {
+			panic("enumerate: negative size")
+		}
+		return 0
+	}
+	current := map[string]config.Config{
+		config.New(grid.Origin).Key(): config.New(grid.Origin),
+	}
+	for size := 1; size < n; size++ {
+		current = growAll(current)
+	}
+	return len(current)
+}

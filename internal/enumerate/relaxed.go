@@ -1,0 +1,92 @@
+package enumerate
+
+import (
+	"repro/internal/config"
+	"repro/internal/grid"
+)
+
+// ConnectedWithin returns all n-node configurations, up to translation,
+// whose *visibility graph* at the given range is connected: nodes are
+// adjacent in that graph when their distance is at most visRange.
+// ConnectedWithin(n, 1) equals Connected(n). The paper's §V lists
+// gathering from range-2-visibility-connected initial configurations as
+// future work; the relaxed sweep (experiment E9) uses this enumeration.
+func ConnectedWithin(n, visRange int) []config.Config {
+	if n < 0 || visRange < 1 {
+		panic("enumerate: bad arguments")
+	}
+	if n == 0 {
+		return nil
+	}
+	current := map[string]config.Config{
+		config.New(grid.Origin).Key(): config.New(grid.Origin),
+	}
+	for size := 1; size < n; size++ {
+		next := make(map[string]config.Config, len(current)*6)
+		for _, c := range current {
+			growWithinInto(c, visRange, next)
+		}
+		current = next
+	}
+	return sortedValues(current)
+}
+
+// growWithinInto extends c by one node within visRange of an existing
+// node, keyed canonically into dst.
+func growWithinInto(c config.Config, visRange int, dst map[string]config.Config) {
+	set := c.Set()
+	seen := map[grid.Coord]bool{}
+	for _, v := range c.Nodes() {
+		for _, nb := range v.Disk(visRange) {
+			if set[nb] || seen[nb] {
+				continue
+			}
+			seen[nb] = true
+			ext := config.New(append(c.Nodes(), nb)...).Normalize()
+			dst[ext.Key()] = ext
+		}
+	}
+}
+
+// RandomWithin grows one random n-node configuration whose visibility
+// graph at the given range is connected, using the provided source of
+// randomness. The full relaxed space for n = 7 has ≈2.6 million patterns
+// (13× growth per node), so the E9 experiment samples it instead of
+// sweeping it exhaustively.
+func RandomWithin(n, visRange int, rng interface{ Intn(int) int }) config.Config {
+	nodes := []grid.Coord{grid.Origin}
+	set := map[grid.Coord]bool{grid.Origin: true}
+	for len(nodes) < n {
+		base := nodes[rng.Intn(len(nodes))]
+		disk := base.Disk(visRange)
+		cand := disk[1+rng.Intn(len(disk)-1)] // skip index 0 (= base)
+		if set[cand] {
+			continue
+		}
+		set[cand] = true
+		nodes = append(nodes, cand)
+	}
+	return config.New(nodes...).Normalize()
+}
+
+// VisibilityConnected reports whether the configuration's visibility graph
+// at the given range is connected.
+func VisibilityConnected(c config.Config, visRange int) bool {
+	nodes := c.Nodes()
+	if len(nodes) <= 1 {
+		return true
+	}
+	stack := []grid.Coord{nodes[0]}
+	seen := map[grid.Coord]bool{nodes[0]: true}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range nodes {
+			if !seen[w] && v.Distance(w) <= visRange {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return len(seen) == len(nodes)
+}

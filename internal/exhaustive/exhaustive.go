@@ -1,0 +1,199 @@
+// Package exhaustive reproduces the paper's Theorem 2 evaluation: it runs
+// the gathering algorithm from every connected initial configuration of n
+// robots ("3652 patterns in total" for n = 7) under the FSYNC scheduler
+// and aggregates outcomes. Runs are independent, so the sweep fans out
+// over a worker pool of goroutines; aggregation is deterministic
+// regardless of worker count.
+package exhaustive
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/enumerate"
+	"repro/internal/sim"
+)
+
+// Options tune a sweep.
+type Options struct {
+	// Robots is the configuration size (default 7, the paper's case).
+	Robots int
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// MaxRounds bounds each run (default sim.DefaultMaxRounds).
+	MaxRounds int
+}
+
+// CaseResult records one initial configuration's outcome.
+type CaseResult struct {
+	Initial config.Config
+	Status  sim.Status
+	Rounds  int
+	Moves   int
+}
+
+// Report aggregates a sweep.
+type Report struct {
+	Algorithm string
+	Robots    int
+	Total     int
+	// ByStatus counts outcomes per status.
+	ByStatus map[sim.Status]int
+	// MaxRounds / MeanRounds / MaxMoves / MeanMoves are over gathered runs.
+	MaxRounds  int
+	MeanRounds float64
+	MaxMoves   int
+	MeanMoves  float64
+	// Cases lists per-configuration results in enumeration order.
+	Cases []CaseResult
+}
+
+// Gathered returns the number of runs that gathered.
+func (r *Report) Gathered() int { return r.ByStatus[sim.Gathered] }
+
+// AllGathered reports whether every initial configuration gathered — the
+// paper's Theorem 2 claim.
+func (r *Report) AllGathered() bool { return r.Gathered() == r.Total }
+
+// Verify sweeps every connected initial configuration with the given
+// algorithm and returns the aggregated report.
+func Verify(alg core.Algorithm, opts Options) *Report {
+	if opts.Robots <= 0 {
+		opts.Robots = 7
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	initials := enumerate.Connected(opts.Robots)
+	report := &Report{
+		Algorithm: alg.Name(),
+		Robots:    opts.Robots,
+		Total:     len(initials),
+		ByStatus:  map[sim.Status]int{},
+		Cases:     make([]CaseResult, len(initials)),
+	}
+
+	var wg sync.WaitGroup
+	jobs := make(chan int, opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res := sim.Run(alg, initials[i], sim.Options{
+					MaxRounds:        opts.MaxRounds,
+					DetectCycles:     true,
+					StopOnDisconnect: true,
+				})
+				report.Cases[i] = CaseResult{
+					Initial: initials[i],
+					Status:  res.Status,
+					Rounds:  res.Rounds,
+					Moves:   res.Moves,
+				}
+			}
+		}()
+	}
+	for i := range initials {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var sumRounds, sumMoves, gathered int
+	for _, c := range report.Cases {
+		report.ByStatus[c.Status]++
+		if c.Status != sim.Gathered {
+			continue
+		}
+		gathered++
+		sumRounds += c.Rounds
+		sumMoves += c.Moves
+		if c.Rounds > report.MaxRounds {
+			report.MaxRounds = c.Rounds
+		}
+		if c.Moves > report.MaxMoves {
+			report.MaxMoves = c.Moves
+		}
+	}
+	if gathered > 0 {
+		report.MeanRounds = float64(sumRounds) / float64(gathered)
+		report.MeanMoves = float64(sumMoves) / float64(gathered)
+	}
+	return report
+}
+
+// Failures returns the cases that did not gather.
+func (r *Report) Failures() []CaseResult {
+	var out []CaseResult
+	for _, c := range r.Cases {
+		if c.Status != sim.Gathered {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ByDiameter buckets gathered runs by the diameter of the initial
+// configuration and reports per-bucket round statistics (experiment E7).
+type DiameterStats struct {
+	Diameter   int
+	Count      int
+	MaxRounds  int
+	MeanRounds float64
+}
+
+// RoundsByDiameter aggregates gathered runs per initial diameter.
+func (r *Report) RoundsByDiameter() []DiameterStats {
+	agg := map[int]*DiameterStats{}
+	for _, c := range r.Cases {
+		if c.Status != sim.Gathered {
+			continue
+		}
+		d := c.Initial.Diameter()
+		s := agg[d]
+		if s == nil {
+			s = &DiameterStats{Diameter: d}
+			agg[d] = s
+		}
+		s.Count++
+		s.MeanRounds += float64(c.Rounds) // sum; normalized below
+		if c.Rounds > s.MaxRounds {
+			s.MaxRounds = c.Rounds
+		}
+	}
+	out := make([]DiameterStats, 0, len(agg))
+	for _, s := range agg {
+		s.MeanRounds /= float64(s.Count)
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Diameter < out[j].Diameter })
+	return out
+}
+
+// String renders the report as the Theorem 2 summary table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "algorithm %s, n=%d: %d/%d gathered", r.Algorithm, r.Robots, r.Gathered(), r.Total)
+	if r.Gathered() > 0 {
+		fmt.Fprintf(&b, " (rounds max %d mean %.1f, moves max %d mean %.1f)",
+			r.MaxRounds, r.MeanRounds, r.MaxMoves, r.MeanMoves)
+	}
+	// Failure breakdown in a deterministic order.
+	statuses := make([]sim.Status, 0, len(r.ByStatus))
+	for s := range r.ByStatus {
+		if s != sim.Gathered {
+			statuses = append(statuses, s)
+		}
+	}
+	sort.Slice(statuses, func(i, j int) bool { return statuses[i] < statuses[j] })
+	for _, s := range statuses {
+		fmt.Fprintf(&b, ", %s %d", s, r.ByStatus[s])
+	}
+	return b.String()
+}

@@ -1,0 +1,171 @@
+package exhaustive
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/enumerate"
+	"repro/internal/sim"
+)
+
+// TestExhaustiveGathering is experiment E2, the paper's Theorem 2: the
+// proposed algorithm gathers, collision-free, from all 3652 connected
+// initial configurations of seven robots in the FSYNC model.
+func TestExhaustiveGathering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep skipped in -short mode")
+	}
+	report := Verify(core.Gatherer{}, Options{})
+	if report.Total != 3652 {
+		t.Fatalf("enumerated %d initial configurations, want 3652", report.Total)
+	}
+	if !report.AllGathered() {
+		t.Fatalf("gathering failed: %s", report)
+	}
+	if report.ByStatus[sim.Collision] != 0 {
+		t.Fatalf("collisions occurred: %s", report)
+	}
+	t.Logf("Theorem 2 verified: %s", report)
+}
+
+// TestAblationVariants records what each reconstruction layer contributes;
+// the bare transcription must gather strictly fewer configurations, and
+// only the full algorithm may reach 3652.
+func TestAblationVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweeps skipped in -short mode")
+	}
+	full := Verify(core.Gatherer{}, Options{})
+	if !full.AllGathered() {
+		t.Fatalf("full variant: %s", full)
+	}
+	noTable := Verify(core.Gatherer{Variant: core.VariantNoTable}, Options{})
+	if noTable.AllGathered() {
+		t.Errorf("no-table variant unexpectedly gathered everything: %s", noTable)
+	}
+	if noTable.ByStatus[sim.Collision] != 0 || noTable.ByStatus[sim.Disconnected] != 0 {
+		t.Errorf("no-table variant must fail only by stalling: %s", noTable)
+	}
+	noRec := Verify(core.Gatherer{Variant: core.VariantNoReconstruction}, Options{})
+	if noRec.Gathered() > noTable.Gathered() {
+		t.Errorf("dropping hole-filling should not help: %s vs %s", noRec, noTable)
+	}
+	paper := Verify(core.Gatherer{Variant: core.VariantPaper}, Options{})
+	if paper.AllGathered() {
+		t.Errorf("bare transcription unexpectedly gathered everything: %s", paper)
+	}
+	t.Logf("ablation: full=%d no-table=%d no-reconstruction=%d paper=%d",
+		full.Gathered(), noTable.Gathered(), noRec.Gathered(), paper.Gathered())
+}
+
+// TestWorkerCountInvariance checks the parallel sweep is deterministic.
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweeps skipped in -short mode")
+	}
+	a := Verify(core.Gatherer{}, Options{Workers: 1})
+	b := Verify(core.Gatherer{}, Options{Workers: 8})
+	if a.Gathered() != b.Gathered() || a.MaxRounds != b.MaxRounds || a.MaxMoves != b.MaxMoves {
+		t.Fatalf("worker count changed results: %s vs %s", a, b)
+	}
+	for i := range a.Cases {
+		if a.Cases[i].Status != b.Cases[i].Status || a.Cases[i].Rounds != b.Cases[i].Rounds {
+			t.Fatalf("case %d differs between worker counts", i)
+		}
+	}
+}
+
+// TestBaselinesFail confirms the naive baselines cannot solve the task,
+// motivating the paper's guarded rules.
+func TestBaselinesFail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweeps skipped in -short mode")
+	}
+	idle := Verify(core.Idle{}, Options{})
+	if got := idle.Gathered(); got != 1 {
+		// Exactly one initial configuration is already the hexagon.
+		t.Errorf("idle baseline gathered %d, want 1", got)
+	}
+	greedy := Verify(core.GreedyEast{}, Options{})
+	if greedy.AllGathered() {
+		t.Error("greedy baseline unexpectedly solved gathering")
+	}
+	bad := greedy.ByStatus[sim.Collision] + greedy.ByStatus[sim.Disconnected]
+	if bad == 0 {
+		t.Errorf("greedy baseline should collide or disconnect somewhere: %s", greedy)
+	}
+	t.Logf("baselines: idle=%s; greedy=%s", idle, greedy)
+}
+
+// TestRoundsByDiameter sanity-checks the E7 aggregation: more spread-out
+// initial configurations must not take fewer rounds at the top end.
+func TestRoundsByDiameter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep skipped in -short mode")
+	}
+	report := Verify(core.Gatherer{}, Options{})
+	stats := report.RoundsByDiameter()
+	if len(stats) == 0 {
+		t.Fatal("no diameter buckets")
+	}
+	if stats[0].Diameter != 2 {
+		t.Errorf("smallest diameter bucket = %d, want 2 (the hexagon)", stats[0].Diameter)
+	}
+	if stats[len(stats)-1].Diameter != 6 {
+		t.Errorf("largest diameter bucket = %d, want 6 (the line)", stats[len(stats)-1].Diameter)
+	}
+	total := 0
+	for _, s := range stats {
+		total += s.Count
+	}
+	if total != report.Gathered() {
+		t.Errorf("bucket counts sum to %d, want %d", total, report.Gathered())
+	}
+	if stats[0].MaxRounds != 0 {
+		t.Errorf("hexagon bucket should include the 0-round run; max=%d", stats[0].MaxRounds)
+	}
+}
+
+func BenchmarkExhaustiveVerify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !Verify(core.Gatherer{}, Options{}).AllGathered() {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+func BenchmarkExhaustiveVerifySerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !Verify(core.Gatherer{}, Options{Workers: 1}).AllGathered() {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+// TestRelaxedConnectivityE9 is extension E9 (paper §V future work 2): on
+// a seeded sample of range-2 visibility-connected initial configurations,
+// every adjacency-connected sample must gather (Theorem 2), and the
+// relaxed majority must expose failures — evidence the relaxed problem is
+// genuinely open.
+func TestRelaxedConnectivityE9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampled sweep skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(2026))
+	relaxedFailures := 0
+	for i := 0; i < 2000; i++ {
+		c := enumerate.RandomWithin(7, 2, rng)
+		res := sim.Run(core.Gatherer{}, c, sim.Options{DetectCycles: true, MaxRounds: 3000})
+		if c.Connected() {
+			if res.Status != sim.Gathered {
+				t.Fatalf("adjacency-connected sample failed: %v from %s", res.Status, c.Key())
+			}
+		} else if res.Status != sim.Gathered {
+			relaxedFailures++
+		}
+	}
+	if relaxedFailures == 0 {
+		t.Error("expected failures on visibility-only-connected samples")
+	}
+}

@@ -1,0 +1,298 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectionDeltasDistinct(t *testing.T) {
+	seen := map[Coord]Direction{}
+	for _, d := range Directions {
+		if prev, dup := seen[d.Delta()]; dup {
+			t.Fatalf("directions %v and %v share delta %v", prev, d, d.Delta())
+		}
+		seen[d.Delta()] = d
+	}
+	if len(seen) != NumDirections {
+		t.Fatalf("expected %d distinct deltas, got %d", NumDirections, len(seen))
+	}
+}
+
+func TestDirectionOpposite(t *testing.T) {
+	want := map[Direction]Direction{E: W, NE: SW, NW: SE, W: E, SW: NE, SE: NW}
+	for d, o := range want {
+		if got := d.Opposite(); got != o {
+			t.Errorf("%v.Opposite() = %v, want %v", d, got, o)
+		}
+		if got := d.Delta().Neg(); got != o.Delta() {
+			t.Errorf("%v delta negation mismatch", d)
+		}
+	}
+}
+
+func TestDirectionRotation(t *testing.T) {
+	for _, d := range Directions {
+		if d.CCW().CW() != d {
+			t.Errorf("CCW then CW of %v is not identity", d)
+		}
+		if d.CW().CCW() != d {
+			t.Errorf("CW then CCW of %v is not identity", d)
+		}
+	}
+	// Six CCW rotations are the identity.
+	d := E
+	for i := 0; i < NumDirections; i++ {
+		d = d.CCW()
+	}
+	if d != E {
+		t.Errorf("six CCW rotations of E gave %v", d)
+	}
+	if E.CCW() != NE || NE.CCW() != NW {
+		t.Errorf("CCW order broken: E.CCW()=%v NE.CCW()=%v", E.CCW(), NE.CCW())
+	}
+}
+
+func TestParseDirection(t *testing.T) {
+	for _, d := range Directions {
+		got, err := ParseDirection(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseDirection(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseDirection("NNE"); err == nil {
+		t.Error("ParseDirection accepted junk")
+	}
+}
+
+func TestDistanceNeighbors(t *testing.T) {
+	c := Coord{Q: 3, R: -2}
+	for _, n := range c.Neighbors() {
+		if d := c.Distance(n); d != 1 {
+			t.Errorf("neighbor %v of %v at distance %d", n, c, d)
+		}
+		if !c.IsAdjacent(n) {
+			t.Errorf("IsAdjacent(%v, %v) = false", c, n)
+		}
+	}
+	if c.Distance(c) != 0 {
+		t.Errorf("self distance nonzero")
+	}
+}
+
+func TestDistanceKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b Coord
+		want int
+	}{
+		{Coord{0, 0}, Coord{2, 0}, 2},
+		{Coord{0, 0}, Coord{1, 1}, 2},
+		{Coord{0, 0}, Coord{-1, 1}, 1}, // NW neighbor
+		{Coord{0, 0}, Coord{1, -1}, 1}, // SE neighbor
+		{Coord{0, 0}, Coord{2, -1}, 2},
+		{Coord{0, 0}, Coord{-2, 2}, 2},
+		{Coord{0, 0}, Coord{3, -5}, 5},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Distance(tc.b); got != tc.want {
+			t.Errorf("Distance(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestDistanceMetricProperties(t *testing.T) {
+	f := func(aq, ar, bq, br, cq, cr int8) bool {
+		a := Coord{int(aq), int(ar)}
+		b := Coord{int(bq), int(br)}
+		c := Coord{int(cq), int(cr)}
+		dab := a.Distance(b)
+		if dab != b.Distance(a) {
+			return false // symmetry
+		}
+		if dab < 0 {
+			return false
+		}
+		if (a == b) != (dab == 0) {
+			return false // identity of indiscernibles
+		}
+		return a.Distance(c) <= dab+b.Distance(c) // triangle inequality
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceTranslationInvariant(t *testing.T) {
+	f := func(aq, ar, bq, br, tq, tr int8) bool {
+		a := Coord{int(aq), int(ar)}
+		b := Coord{int(bq), int(br)}
+		tr2 := Coord{int(tq), int(tr)}
+		return a.Distance(b) == a.Add(tr2).Distance(b.Add(tr2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectionTo(t *testing.T) {
+	c := Coord{Q: -1, R: 4}
+	for _, d := range Directions {
+		if got := c.DirectionTo(c.Step(d)); got != d {
+			t.Errorf("DirectionTo(step %v) = %v", d, got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("DirectionTo on non-adjacent nodes did not panic")
+		}
+	}()
+	c.DirectionTo(c.Add(Coord{Q: 2, R: 0}))
+}
+
+func TestRingSizes(t *testing.T) {
+	c := Coord{Q: 1, R: 1}
+	for k := 0; k <= 5; k++ {
+		ring := c.Ring(k)
+		want := 6 * k
+		if k == 0 {
+			want = 1
+		}
+		if len(ring) != want {
+			t.Fatalf("Ring(%d) has %d nodes, want %d", k, len(ring), want)
+		}
+		seen := map[Coord]bool{}
+		for _, n := range ring {
+			if n.Distance(c) != k {
+				t.Fatalf("Ring(%d) contains %v at distance %d", k, n, n.Distance(c))
+			}
+			if seen[n] {
+				t.Fatalf("Ring(%d) contains %v twice", k, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestRingAdjacencyOrder(t *testing.T) {
+	// Consecutive ring nodes must be adjacent (the ring is a closed walk).
+	ring := Origin.Ring(3)
+	for i := range ring {
+		next := ring[(i+1)%len(ring)]
+		if !ring[i].IsAdjacent(next) {
+			t.Fatalf("ring nodes %v and %v not adjacent", ring[i], next)
+		}
+	}
+}
+
+func TestDiskSizes(t *testing.T) {
+	for k := 0; k <= 4; k++ {
+		disk := Origin.Disk(k)
+		want := 1 + 3*k*(k+1)
+		if len(disk) != want {
+			t.Fatalf("Disk(%d) has %d nodes, want %d", k, len(disk), want)
+		}
+	}
+	// Visibility range 2 sees eighteen nodes besides itself (paper §II-A).
+	if got := len(Origin.Disk(2)) - 1; got != 18 {
+		t.Fatalf("range-2 visibility covers %d nodes, want 18", got)
+	}
+}
+
+func TestLabelNeighbors(t *testing.T) {
+	// Fig. 48: the six neighbor labels.
+	want := map[Direction]Label{
+		E: L(2, 0), NE: L(1, 1), NW: L(-1, 1), W: L(-2, 0), SW: L(-1, -1), SE: L(1, -1),
+	}
+	for d, wl := range want {
+		if got := LabelOf(d.Delta()); got != wl {
+			t.Errorf("LabelOf(%v) = %v, want %v", d, got, wl)
+		}
+		if NeighborLabels[d] != wl {
+			t.Errorf("NeighborLabels[%v] = %v, want %v", d, NeighborLabels[d], wl)
+		}
+		gd, ok := LabelDirection(wl)
+		if !ok || gd != d {
+			t.Errorf("LabelDirection(%v) = %v,%v want %v", wl, gd, ok, d)
+		}
+	}
+}
+
+func TestLabelDistance2Ring(t *testing.T) {
+	// Fig. 48: the twelve distance-2 labels.
+	want := map[Label]bool{
+		L(4, 0): true, L(3, 1): true, L(2, 2): true, L(0, 2): true,
+		L(-2, 2): true, L(-3, 1): true, L(-4, 0): true, L(-3, -1): true,
+		L(-2, -2): true, L(0, -2): true, L(2, -2): true, L(3, -1): true,
+	}
+	got := map[Label]bool{}
+	for _, n := range Origin.Ring(2) {
+		got[LabelOf(n)] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distance-2 ring has %d labels, want %d", len(got), len(want))
+	}
+	for l := range want {
+		if !got[l] {
+			t.Errorf("distance-2 ring missing label %v", l)
+		}
+	}
+}
+
+func TestLabelRoundTrip(t *testing.T) {
+	f := func(q, r int8) bool {
+		c := Coord{int(q), int(r)}
+		l := LabelOf(c)
+		return l.Valid() && l.Coord() == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelInvalid(t *testing.T) {
+	l := Label{X: 1, Y: 0}
+	if l.Valid() {
+		t.Error("odd-parity label reported valid")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Coord() on invalid label did not panic")
+		}
+	}()
+	l.Coord()
+}
+
+func TestLabelXNotDistance(t *testing.T) {
+	// The paper warns labels are not distances: label (2,0) is 1 hop away.
+	if d := L(2, 0).Coord().Norm(); d != 1 {
+		t.Fatalf("label (2,0) at distance %d, want 1", d)
+	}
+	if d := L(4, 0).Coord().Norm(); d != 2 {
+		t.Fatalf("label (4,0) at distance %d, want 2", d)
+	}
+}
+
+func TestAddSubNeg(t *testing.T) {
+	f := func(aq, ar, bq, br int8) bool {
+		a := Coord{int(aq), int(ar)}
+		b := Coord{int(bq), int(br)}
+		return a.Add(b).Sub(b) == a && a.Sub(b) == a.Add(b.Neg())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if s := (Coord{Q: -1, R: 2}).String(); s != "(-1,2)" {
+		t.Errorf("Coord string = %q", s)
+	}
+	if s := L(3, -1).String(); s != "(3,-1)" {
+		t.Errorf("Label string = %q", s)
+	}
+	if s := SE.String(); s != "SE" {
+		t.Errorf("Direction string = %q", s)
+	}
+	if s := Direction(9).String(); s != "Direction(9)" {
+		t.Errorf("invalid direction string = %q", s)
+	}
+}

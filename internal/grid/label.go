@@ -1,0 +1,64 @@
+package grid
+
+import "fmt"
+
+// Label is the paper's node-labelling scheme (Fig. 48). A robot pretends it
+// stands at the origin and tags every node in sight with a pair
+// (x-element, y-element). In axial coordinates relative to the robot,
+//
+//	X = 2*Q + R   (the "x-element")
+//	Y = R         (the "y-element")
+//
+// so the six neighbors read E=(2,0), NE=(1,1), NW=(-1,1), W=(-2,0),
+// SW=(-1,-1), SE=(1,-1), and the distance-2 ring contains (4,0), (3,1),
+// (2,2), (0,2), (-2,2), (-3,1), (-4,0), (-3,-1), (-2,-2), (0,-2), (2,-2),
+// (3,-1). Note X is *not* a graph distance: label (2,0) is one hop away.
+type Label struct {
+	X, Y int
+}
+
+// LabelOf converts a robot-relative offset to its paper label.
+func LabelOf(rel Coord) Label { return Label{X: 2*rel.Q + rel.R, Y: rel.R} }
+
+// Coord converts a label back to the robot-relative axial offset.
+// X-Y is always even for grid nodes; Coord panics on labels that do not
+// name a node.
+func (l Label) Coord() Coord {
+	if (l.X-l.Y)%2 != 0 {
+		panic(fmt.Sprintf("grid: label %v does not name a node", l))
+	}
+	return Coord{Q: (l.X - l.Y) / 2, R: l.Y}
+}
+
+// Valid reports whether the label names a grid node (X and Y have the same
+// parity).
+func (l Label) Valid() bool { return (l.X-l.Y)%2 == 0 }
+
+// String renders the label as "(x,y)" matching the paper's figures.
+func (l Label) String() string { return fmt.Sprintf("(%d,%d)", l.X, l.Y) }
+
+// L is shorthand for constructing a Label; rules read close to the paper's
+// pseudocode when written with it, e.g. L(3,-1).
+func L(x, y int) Label { return Label{X: x, Y: y} }
+
+// NeighborLabels lists the labels of the six adjacent nodes in Directions
+// order (E, NE, NW, W, SW, SE).
+var NeighborLabels = [NumDirections]Label{
+	E:  {2, 0},
+	NE: {1, 1},
+	NW: {-1, 1},
+	W:  {-2, 0},
+	SW: {-1, -1},
+	SE: {1, -1},
+}
+
+// LabelDirection maps a distance-1 label to its direction. The second
+// return is false if the label is not one of the six neighbor labels.
+func LabelDirection(l Label) (Direction, bool) {
+	for i, nl := range NeighborLabels {
+		if nl == l {
+			return Direction(i), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,53 @@
+package impossibility
+
+import (
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/vision"
+)
+
+// TableAlgorithm adapts a visibility-1 rule table to the core.Algorithm
+// interface so candidate tables can be executed by the simulator (the
+// prover's leaf check and the livelock demonstrations use this).
+// Undecided views stay — the interpretation most favorable to the table.
+type TableAlgorithm struct {
+	Table *Table
+	Label string
+}
+
+// Name implements core.Algorithm.
+func (a TableAlgorithm) Name() string {
+	if a.Label != "" {
+		return a.Label
+	}
+	return "vis1-table"
+}
+
+// VisibilityRange implements core.Algorithm: rule tables are the
+// visibility-range-1 model.
+func (TableAlgorithm) VisibilityRange() int { return 1 }
+
+// Compute implements core.Algorithm.
+func (a TableAlgorithm) Compute(v vision.View) core.Move {
+	d := a.Table[v.Mask6()]
+	if !d.decided() || d == StayBit {
+		return core.Stay
+	}
+	for _, dir := range grid.Directions {
+		if d == DirBit(dir) {
+			return core.MoveIn(dir)
+		}
+	}
+	return core.Stay
+}
+
+// UniformTable returns the table mapping every view to the same decision.
+func UniformTable(d Decision) *Table {
+	var t Table
+	for i := range t {
+		t[i] = d
+	}
+	return &t
+}
+
+var _ core.Algorithm = TableAlgorithm{}

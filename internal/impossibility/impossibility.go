@@ -1,0 +1,464 @@
+// Package impossibility mechanizes Theorem 1 of the paper: for robots with
+// visibility range 1 there is no collision-free algorithm that solves the
+// gathering problem of seven robots on triangular grids, even under FSYNC.
+//
+// A visibility-range-1 algorithm is exactly a rule table: a function from
+// the 64 possible views (the occupancy pattern of the six adjacent nodes)
+// to one of seven decisions (stay or one of the six directions). The
+// prover searches this finite space with constraint propagation and
+// refutation:
+//
+//   - Stability seed. In the gathered hexagon no robot may move: by
+//     determinism and translation equivariance, an algorithm that moves in
+//     a gathered configuration can never terminate (the views in any
+//     translated hexagon are identical). The seven hexagon views are
+//     therefore forced to Stay.
+//
+//   - Unit elimination. For every connected 7-robot configuration (all
+//     3652 of them are legal initial configurations): if the views of all
+//     robots but one are already decided, each candidate move of the
+//     remaining view that causes a collision or disconnects the
+//     configuration is eliminated — the paper's prohibited-behaviour
+//     arguments (its Figs. 5–47), applied mechanically to every
+//     configuration instead of a hand-picked gallery.
+//
+//   - Stall contradiction. A configuration in which every robot's view is
+//     forced to Stay but which is not gathered refutes the current branch:
+//     the system would halt un-gathered (the paper's Figs. 8, 23, 30, 37,
+//     47).
+//
+//   - Branch and refute. When propagation reaches a fixpoint, the prover
+//     branches on an undecided view. A branch whose table becomes fully
+//     decided on all reachable views is checked by simulation; a
+//     surviving table would *refute* the theorem, and none does.
+//
+// Disconnection is treated as fatal, as in the paper (§II-A: an oblivious
+// robot with no adjacent robot node cannot know a direction to
+// reconnect). The prover's verdict is therefore exactly the paper's
+// statement, established over the complete configuration space rather
+// than a manual case analysis.
+package impossibility
+
+import (
+	"repro/internal/config"
+	"repro/internal/enumerate"
+	"repro/internal/grid"
+)
+
+// Decision is a bitmask of the moves still allowed for a view: bits 0–5
+// are the directions in grid.Directions order, bit 6 is Stay.
+type Decision uint8
+
+// Decision bits.
+const (
+	// StayBit marks "stay" in a Decision mask.
+	StayBit Decision = 1 << 6
+	// AllMoves allows everything (the undetermined state).
+	AllMoves Decision = 1<<7 - 1
+)
+
+// DirBit returns the decision bit for a directional move.
+func DirBit(d grid.Direction) Decision { return 1 << Decision(d) }
+
+func (d Decision) count() int {
+	n := 0
+	for m := d; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+func (d Decision) decided() bool { return d.count() == 1 }
+
+// Table is the constraint state: for each of the 64 range-1 views, the set
+// of moves still allowed.
+type Table [64]Decision
+
+// NewTable returns the unconstrained table.
+func NewTable() *Table {
+	var t Table
+	for i := range t {
+		t[i] = AllMoves
+	}
+	return &t
+}
+
+// Verdict is the outcome of the impossibility search.
+type Verdict struct {
+	// Impossible reports that every rule table was refuted — Theorem 1.
+	Impossible bool
+	// Counterexample, when Impossible is false, holds a table that
+	// survived (it would disprove the theorem; none exists).
+	Counterexample *Table
+	// Nodes counts search-tree nodes explored.
+	Nodes int
+	// Eliminations counts unit-elimination steps performed.
+	Eliminations int
+}
+
+// scene is a preprocessed configuration: robot positions, each robot's
+// range-1 view index, and adjacency for the connectivity check.
+type scene struct {
+	pos      []grid.Coord
+	views    []uint8
+	gathered bool
+}
+
+// Prover runs the refutation search.
+type Prover struct {
+	scenes []scene
+	// budget bounds the number of search nodes; 0 means unlimited.
+	budget int
+	nodes  int
+	elims  int
+}
+
+// NewProver builds the prover over every connected 7-robot configuration.
+func NewProver() *Prover {
+	return NewProverFor(enumerate.Connected(7))
+}
+
+// NewProverFor builds a prover over a custom configuration library (used
+// by tests to reproduce the paper's figure-by-figure arguments).
+func NewProverFor(lib []config.Config) *Prover {
+	p := &Prover{}
+	for _, c := range lib {
+		p.scenes = append(p.scenes, makeScene(c))
+	}
+	return p
+}
+
+// SetBudget bounds the search; 0 means unlimited.
+func (p *Prover) SetBudget(nodes int) { p.budget = nodes }
+
+func makeScene(c config.Config) scene {
+	s := scene{pos: c.Nodes(), gathered: c.Gathered()}
+	set := c.Set()
+	for _, v := range s.pos {
+		var mask uint8
+		for i, d := range grid.Directions {
+			if set[v.Step(d)] {
+				mask |= 1 << uint(i)
+			}
+		}
+		s.views = append(s.views, mask)
+	}
+	return s
+}
+
+// HexagonViews returns the seven view masks occurring in the gathered
+// hexagon (one full view for the center, six three-neighbor views for the
+// vertices).
+func HexagonViews() []uint8 {
+	sc := makeScene(config.Hexagon(grid.Origin))
+	out := make([]uint8, len(sc.views))
+	copy(out, sc.views)
+	return out
+}
+
+// SeedStability forces Stay for every view occurring in the gathered
+// hexagon. It returns false if the table is already contradicted.
+func SeedStability(t *Table) bool {
+	for _, v := range HexagonViews() {
+		t[v] &= StayBit
+		if t[v] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Prove runs the full search and returns the verdict.
+func (p *Prover) Prove() Verdict {
+	t := NewTable()
+	if !SeedStability(t) {
+		return Verdict{Impossible: true}
+	}
+	p.nodes, p.elims = 0, 0
+	counter := p.refute(t)
+	v := Verdict{Impossible: counter == nil, Counterexample: counter, Nodes: p.nodes, Eliminations: p.elims}
+	return v
+}
+
+// refute returns nil if every completion of t is contradicted, or a
+// surviving fully-decided table otherwise.
+func (p *Prover) refute(t *Table) *Table {
+	p.nodes++
+	if p.budget > 0 && p.nodes > p.budget {
+		// Budget exhausted: conservatively report a "survivor" so the
+		// caller cannot claim impossibility it did not establish.
+		surv := *t
+		return &surv
+	}
+	if !p.propagate(t) {
+		return nil // contradiction
+	}
+	// Find an undecided view that occurs in some scene, preferring the
+	// fewest remaining options.
+	branchView := -1
+	bestCount := 8
+	for _, sc := range p.scenes {
+		for _, vi := range sc.views {
+			if c := t[vi].count(); c > 1 && c < bestCount {
+				bestCount = c
+				branchView = int(vi)
+			}
+		}
+	}
+	if branchView < 0 {
+		// Fully decided on all occurring views: simulate. A table that
+		// gathers everywhere would be a counterexample.
+		if p.simulateAll(t) {
+			surv := *t
+			return &surv
+		}
+		return nil
+	}
+	opts := t[branchView]
+	for bit := Decision(1); bit < 1<<7; bit <<= 1 {
+		if opts&bit == 0 {
+			continue
+		}
+		child := *t
+		child[branchView] = bit
+		if surv := p.refute(&child); surv != nil {
+			return surv
+		}
+	}
+	return nil
+}
+
+// propagate runs unit elimination and stall detection to fixpoint.
+// Returns false on contradiction.
+func (p *Prover) propagate(t *Table) bool {
+	for changed := true; changed; {
+		changed = false
+		for si := range p.scenes {
+			sc := &p.scenes[si]
+			undecided := -1
+			multi := false
+			for i, vi := range sc.views {
+				if !t[vi].decided() {
+					if undecided >= 0 && sc.views[undecided] != vi {
+						multi = true
+						break
+					}
+					undecided = i
+				}
+			}
+			if multi {
+				continue
+			}
+			if undecided < 0 {
+				// Fully forced: a violating or stalling scene refutes.
+				if !p.checkForced(sc, t) {
+					return false
+				}
+				continue
+			}
+			vi := sc.views[undecided]
+			opts := t[vi]
+			for bit := Decision(1); bit < 1<<7; bit <<= 1 {
+				if opts&bit == 0 {
+					continue
+				}
+				if !p.legalChoice(sc, t, vi, bit) {
+					t[vi] &^= bit
+					p.elims++
+					changed = true
+					if t[vi] == 0 {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// checkForced validates a scene whose views are all decided: it must not
+// collide, disconnect, or stall un-gathered.
+func (p *Prover) checkForced(sc *scene, t *Table) bool {
+	moves := make([]Decision, len(sc.pos))
+	allStay := true
+	for i, vi := range sc.views {
+		moves[i] = t[vi]
+		if moves[i] != StayBit {
+			allStay = false
+		}
+	}
+	if allStay {
+		return sc.gathered
+	}
+	return p.legalVector(sc, moves)
+}
+
+// legalChoice tests whether assigning `choice` to view vi keeps the scene
+// legal, all other robots following their forced decisions. Robots other
+// than the probe that share view vi also take `choice` (same view, same
+// move).
+func (p *Prover) legalChoice(sc *scene, t *Table, vi uint8, choice Decision) bool {
+	moves := make([]Decision, len(sc.pos))
+	for i, v := range sc.views {
+		if v == vi {
+			moves[i] = choice
+		} else {
+			moves[i] = t[v]
+		}
+	}
+	return p.legalVector(sc, moves)
+}
+
+// legalVector applies a fully decided move vector: no collision under the
+// three rules of §II-A and the successor configuration stays connected.
+func (p *Prover) legalVector(sc *scene, moves []Decision) bool {
+	n := len(sc.pos)
+	targets := make([]grid.Coord, n)
+	moving := make([]bool, n)
+	for i, m := range moves {
+		if m == StayBit {
+			targets[i] = sc.pos[i]
+			continue
+		}
+		for j, d := range grid.Directions {
+			if m == DirBit(d) {
+				targets[i] = sc.pos[i].Step(d)
+				moving[i] = true
+				break
+			}
+			_ = j
+		}
+	}
+	// Collision rules.
+	posIndex := make(map[grid.Coord]int, n)
+	for i, p := range sc.pos {
+		posIndex[p] = i
+	}
+	targetCount := make(map[grid.Coord]int, n)
+	for i, t := range targets {
+		if moving[i] {
+			targetCount[t]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !moving[i] {
+			continue
+		}
+		tgt := targets[i]
+		if j, occ := posIndex[tgt]; occ {
+			if !moving[j] {
+				return false // onto stationary
+			}
+			if targets[j] == sc.pos[i] {
+				return false // swap
+			}
+		}
+		if targetCount[tgt] > 1 {
+			return false // merge
+		}
+	}
+	// Connectivity of the successor.
+	return config.New(targets...).Connected()
+}
+
+// simulateAll runs the decided table as an algorithm from every scene and
+// reports whether all runs gather (which would refute the theorem).
+func (p *Prover) simulateAll(t *Table) bool {
+	for _, sc := range p.scenes {
+		if !p.simulate(sc, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// simulate runs one FSYNC execution under table t from scene sc.
+func (p *Prover) simulate(start scene, t *Table) bool {
+	cur := config.New(start.pos...)
+	seen := map[string]bool{cur.Key(): true}
+	for round := 0; round < 1000; round++ {
+		sc := makeScene(cur)
+		moves := make([]Decision, len(sc.pos))
+		allStay := true
+		for i, vi := range sc.views {
+			d := t[vi]
+			if !d.decided() {
+				// An undecided view surfaced outside the library's
+				// reach; treat as stay (most favorable to the table).
+				d = StayBit
+			}
+			moves[i] = d
+			if d != StayBit {
+				allStay = false
+			}
+		}
+		if allStay {
+			return sc.gathered
+		}
+		if !p.legalVector(&sc, moves) {
+			return false
+		}
+		next := applyVector(&sc, moves)
+		cur = next
+		k := cur.Key()
+		if seen[k] {
+			return false // livelock
+		}
+		seen[k] = true
+	}
+	return false
+}
+
+func applyVector(sc *scene, moves []Decision) config.Config {
+	targets := make([]grid.Coord, len(sc.pos))
+	for i, m := range moves {
+		targets[i] = sc.pos[i]
+		for _, d := range grid.Directions {
+			if m == DirBit(d) {
+				targets[i] = sc.pos[i].Step(d)
+				break
+			}
+		}
+	}
+	return config.New(targets...)
+}
+
+// String renders a decision set for diagnostics.
+func (d Decision) String() string {
+	if d == 0 {
+		return "∅"
+	}
+	s := ""
+	for i, dir := range grid.Directions {
+		if d&(1<<Decision(i)) != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += dir.String()
+		}
+	}
+	if d&StayBit != 0 {
+		if s != "" {
+			s += "|"
+		}
+		s += "stay"
+	}
+	return s
+}
+
+// ViewMaskString renders a 6-bit view mask as the occupied directions.
+func ViewMaskString(m uint8) string {
+	s := ""
+	for i, d := range grid.Directions {
+		if m&(1<<uint(i)) != 0 {
+			if s != "" {
+				s += "+"
+			}
+			s += d.String()
+		}
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}

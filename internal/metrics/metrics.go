@@ -1,0 +1,126 @@
+// Package metrics provides the small statistics types the evaluation
+// harness reports: integer histograms and summary statistics over run
+// rounds and move counts.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram counts integer observations.
+type Histogram struct {
+	counts map[int]int
+	n      int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: map[int]int{}}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int) {
+	h.counts[v]++
+	h.n++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Count returns the number of observations with value v.
+func (h *Histogram) Count(v int) int { return h.counts[v] }
+
+// Min returns the smallest observed value (0 if empty).
+func (h *Histogram) Min() int {
+	first := true
+	min := 0
+	for v := range h.counts {
+		if first || v < min {
+			min = v
+			first = false
+		}
+	}
+	return min
+}
+
+// Max returns the largest observed value (0 if empty).
+func (h *Histogram) Max() int {
+	max := 0
+	for v := range h.counts {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Mean returns the average (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	sum := 0
+	for v, c := range h.counts {
+		sum += v * c
+	}
+	return float64(sum) / float64(h.n)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by the
+// nearest-rank method.
+func (h *Histogram) Percentile(p float64) int {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	vals := h.values()
+	seen := 0
+	for _, v := range vals {
+		seen += h.counts[v]
+		if seen >= rank {
+			return v
+		}
+	}
+	return vals[len(vals)-1]
+}
+
+func (h *Histogram) values() []int {
+	vals := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+// String renders the histogram as one bar row per value.
+func (h *Histogram) String() string {
+	if h.n == 0 {
+		return "(empty)\n"
+	}
+	var b strings.Builder
+	maxCount := 0
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for _, v := range h.values() {
+		c := h.counts[v]
+		bar := strings.Repeat("#", (c*50+maxCount-1)/maxCount)
+		fmt.Fprintf(&b, "%4d | %-50s %d\n", v, bar, c)
+	}
+	return b.String()
+}
+
+// Summary renders min/mean/p50/p95/max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d min=%d mean=%.1f p50=%d p95=%d max=%d",
+		h.n, h.Min(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Max())
+}

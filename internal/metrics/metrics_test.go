@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{3, 1, 4, 1, 5, 9, 2, 6} {
+		h.Add(v)
+	}
+	if h.N() != 8 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Count(1) != 2 || h.Count(7) != 0 {
+		t.Errorf("counts wrong: %d, %d", h.Count(1), h.Count(7))
+	}
+	if h.Min() != 1 || h.Max() != 9 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if mean := h.Mean(); mean != 31.0/8 {
+		t.Errorf("mean = %v", mean)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Error("empty histogram statistics must be zero")
+	}
+	if h.String() != "(empty)\n" {
+		t.Errorf("empty render = %q", h.String())
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Add(i)
+	}
+	if p := h.Percentile(50); p != 50 {
+		t.Errorf("p50 = %d", p)
+	}
+	if p := h.Percentile(95); p != 95 {
+		t.Errorf("p95 = %d", p)
+	}
+	if p := h.Percentile(100); p != 100 {
+		t.Errorf("p100 = %d", p)
+	}
+	if p := h.Percentile(0); p != 1 {
+		t.Errorf("p0 = %d", p)
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(vals []uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Add(int(v))
+		}
+		prev := h.Min()
+		for p := 0.0; p <= 100; p += 5 {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return h.Percentile(100) == h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderContainsBars(t *testing.T) {
+	h := NewHistogram()
+	h.Add(2)
+	h.Add(2)
+	h.Add(5)
+	s := h.String()
+	if !strings.Contains(s, "#") {
+		t.Errorf("no bars in %q", s)
+	}
+	if !strings.Contains(h.Summary(), "n=3") {
+		t.Errorf("summary = %q", h.Summary())
+	}
+}

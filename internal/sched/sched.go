@@ -1,0 +1,175 @@
+// Package sched implements the scheduler models of the mobile-robot
+// literature. The paper's result is for FSYNC (all robots execute every
+// Look-Compute-Move cycle simultaneously); the SSYNC and CENT schedulers
+// here support the robustness extension experiments (E8): the paper's
+// §V lists non-FSYNC gathering as future work, and these schedulers show
+// concretely where the FSYNC assumption is load-bearing.
+package sched
+
+import (
+	"math/rand"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/vision"
+)
+
+// Scheduler selects which robots are activated each round.
+type Scheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// Select returns the indices (into the sorted node list) of the
+	// robots activated this round. It must return at least one index for
+	// a fair scheduler.
+	Select(n int, round int) []int
+}
+
+// FSYNC activates every robot every round (the paper's model).
+type FSYNC struct{}
+
+// Name implements Scheduler.
+func (FSYNC) Name() string { return "fsync" }
+
+// Select implements Scheduler.
+func (FSYNC) Select(n, _ int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// RoundRobin activates exactly one robot per round, cycling through the
+// sorted positions — the centralized (CENT) adversary.
+type RoundRobin struct{}
+
+// Name implements Scheduler.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Select implements Scheduler.
+func (RoundRobin) Select(n, round int) []int { return []int{round % n} }
+
+// RandomSubset activates a uniformly random non-empty subset each round —
+// a probabilistic SSYNC adversary. The zero value panics; build with
+// NewRandomSubset to fix the seed.
+type RandomSubset struct {
+	rng *rand.Rand
+}
+
+// NewRandomSubset returns an SSYNC scheduler with the given seed.
+func NewRandomSubset(seed int64) *RandomSubset {
+	return &RandomSubset{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Scheduler.
+func (*RandomSubset) Name() string { return "ssync-random" }
+
+// Select implements Scheduler.
+func (s *RandomSubset) Select(n, _ int) []int {
+	for {
+		var out []int
+		for i := 0; i < n; i++ {
+			if s.rng.Intn(2) == 1 {
+				out = append(out, i)
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+}
+
+// Run executes alg from initial under the given scheduler. Robots not
+// activated in a round keep their positions (they are not even activated
+// for a Look). The outcome semantics match sim.Run; with the FSYNC
+// scheduler the two are identical.
+func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Options) sim.Result {
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = sim.DefaultMaxRounds
+	}
+	cur := initial
+	res := sim.Result{Final: cur}
+	if opts.RecordTrace {
+		res.Trace = append(res.Trace, cur)
+	}
+	var seen map[string]bool
+	if opts.DetectCycles {
+		seen = map[string]bool{cur.Key(): true}
+	}
+	idle := 0 // consecutive rounds with no movement
+	for round := 0; round < maxRounds; round++ {
+		robots := cur.Nodes()
+		active := s.Select(len(robots), round)
+		targets := make([]grid.Coord, len(robots))
+		moving := make([]bool, len(robots))
+		moved := 0
+		for i, p := range robots {
+			targets[i] = p
+		}
+		for _, i := range active {
+			m := alg.Compute(vision.Look(cur, robots[i], alg.VisibilityRange()))
+			if m.IsMove() {
+				targets[i] = m.Apply(robots[i])
+				moving[i] = true
+				moved++
+			}
+		}
+		if coll := sim.DetectCollision(robots, targets, moving); coll != nil {
+			res.Status = sim.Collision
+			res.Collision = coll
+			res.Final = cur
+			return res
+		}
+		if moved == 0 {
+			// Under partial activation an idle round is not conclusive:
+			// a different activation set may still move. Only a full
+			// activation (or a long idle streak under FSYNC-equivalent
+			// semantics) decides.
+			if len(active) == len(robots) {
+				if cur.Gathered() {
+					res.Status = sim.Gathered
+				} else {
+					res.Status = sim.Stalled
+				}
+				res.Final = cur
+				return res
+			}
+			idle++
+			if idle > 4*len(robots) {
+				if cur.Gathered() {
+					res.Status = sim.Gathered
+				} else {
+					res.Status = sim.Stalled
+				}
+				res.Final = cur
+				return res
+			}
+			continue
+		}
+		idle = 0
+		res.Rounds++
+		res.Moves += moved
+		cur = config.New(targets...)
+		res.Final = cur
+		if opts.RecordTrace {
+			res.Trace = append(res.Trace, cur)
+		}
+		if opts.StopOnDisconnect && !cur.Connected() {
+			res.Status = sim.Disconnected
+			return res
+		}
+		if opts.DetectCycles && len(active) == len(robots) {
+			k := cur.Key()
+			if seen[k] {
+				res.Status = sim.Livelock
+				return res
+			}
+			seen[k] = true
+		}
+	}
+	res.Status = sim.RoundLimit
+	return res
+}

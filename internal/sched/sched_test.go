@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+func TestFSYNCSelectsEveryone(t *testing.T) {
+	sel := FSYNC{}.Select(7, 3)
+	if len(sel) != 7 {
+		t.Fatalf("FSYNC selected %d robots", len(sel))
+	}
+	for i, v := range sel {
+		if v != i {
+			t.Fatalf("FSYNC selection out of order: %v", sel)
+		}
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	rr := RoundRobin{}
+	for round := 0; round < 14; round++ {
+		sel := rr.Select(7, round)
+		if len(sel) != 1 || sel[0] != round%7 {
+			t.Fatalf("round %d: selection %v", round, sel)
+		}
+	}
+}
+
+func TestRandomSubsetNonEmptyAndSeeded(t *testing.T) {
+	a := NewRandomSubset(42)
+	b := NewRandomSubset(42)
+	for round := 0; round < 50; round++ {
+		sa := a.Select(7, round)
+		sb := b.Select(7, round)
+		if len(sa) == 0 {
+			t.Fatal("empty activation set")
+		}
+		if len(sa) != len(sb) {
+			t.Fatal("same seed produced different schedules")
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatal("same seed produced different schedules")
+			}
+		}
+	}
+}
+
+func TestRunFSYNCMatchesSim(t *testing.T) {
+	for _, d := range []grid.Direction{grid.E, grid.NE, grid.SE} {
+		c := config.Line(grid.Origin, d, 7)
+		a := sim.Run(core.Gatherer{}, c, sim.Options{DetectCycles: true})
+		b := Run(core.Gatherer{}, c, FSYNC{}, sim.Options{DetectCycles: true})
+		if a.Status != b.Status || a.Rounds != b.Rounds || a.Moves != b.Moves {
+			t.Fatalf("%v-line: sched.Run(FSYNC) diverged from sim.Run: %v/%d/%d vs %v/%d/%d",
+				d, a.Status, a.Rounds, a.Moves, b.Status, b.Rounds, b.Moves)
+		}
+	}
+}
+
+func TestRunRoundRobinGathersLine(t *testing.T) {
+	res := Run(core.Gatherer{}, config.Line(grid.Origin, grid.E, 7), RoundRobin{}, sim.Options{
+		DetectCycles: true, StopOnDisconnect: true, MaxRounds: 5000,
+	})
+	if res.Status != sim.Gathered {
+		t.Fatalf("round-robin on east line: %v", res.Status)
+	}
+}
+
+func TestRunSSYNCGathersLine(t *testing.T) {
+	res := Run(core.Gatherer{}, config.Line(grid.Origin, grid.NE, 7), NewRandomSubset(3), sim.Options{
+		DetectCycles: true, StopOnDisconnect: true, MaxRounds: 5000,
+	})
+	if res.Status != sim.Gathered {
+		t.Fatalf("ssync on NE line: %v", res.Status)
+	}
+}
+
+func TestRunHexagonStableAllSchedulers(t *testing.T) {
+	hex := config.Hexagon(grid.Origin)
+	for _, s := range []Scheduler{FSYNC{}, RoundRobin{}, NewRandomSubset(9)} {
+		res := Run(core.Gatherer{}, hex, s, sim.Options{MaxRounds: 100})
+		if res.Status != sim.Gathered || res.Moves != 0 {
+			t.Errorf("%s: hexagon not stable: %v, %d moves", s.Name(), res.Status, res.Moves)
+		}
+	}
+}
+
+func TestRunIdleStallsUnderRoundRobin(t *testing.T) {
+	res := Run(core.Idle{}, config.Line(grid.Origin, grid.E, 7), RoundRobin{}, sim.Options{MaxRounds: 500})
+	if res.Status != sim.Stalled {
+		t.Fatalf("idle under round-robin: %v, want stalled", res.Status)
+	}
+}
+
+func BenchmarkRunRoundRobin(b *testing.B) {
+	c := config.Line(grid.Origin, grid.E, 7)
+	for i := 0; i < b.N; i++ {
+		Run(core.Gatherer{}, c, RoundRobin{}, sim.Options{MaxRounds: 5000})
+	}
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+func TestRunAlreadyGathered(t *testing.T) {
+	res := Run(core.Gatherer{}, config.Hexagon(grid.Origin), Options{})
+	if res.Status != Gathered {
+		t.Fatalf("status = %v, want gathered", res.Status)
+	}
+	if res.Rounds != 0 || res.Moves != 0 {
+		t.Errorf("hexagon run took %d rounds, %d moves; want 0, 0", res.Rounds, res.Moves)
+	}
+}
+
+func TestRunGathersLine(t *testing.T) {
+	for _, d := range []grid.Direction{grid.E, grid.NE, grid.SE} {
+		res := Run(core.Gatherer{}, config.Line(grid.Origin, d, 7), Options{DetectCycles: true})
+		if res.Status != Gathered {
+			t.Errorf("%v-line: status %v, want gathered", d, res.Status)
+		}
+		if !res.Final.Gathered() {
+			t.Errorf("%v-line: final configuration not a hexagon: %v", d, res.Final)
+		}
+	}
+}
+
+func TestRunIdleStalls(t *testing.T) {
+	res := Run(core.Idle{}, config.Line(grid.Origin, grid.E, 7), Options{})
+	if res.Status != Stalled {
+		t.Fatalf("status = %v, want stalled", res.Status)
+	}
+}
+
+func TestRunTraceRecordsEveryRound(t *testing.T) {
+	res := Run(core.Gatherer{}, config.Line(grid.Origin, grid.E, 7), Options{RecordTrace: true})
+	if len(res.Trace) != res.Rounds+1 {
+		t.Fatalf("trace has %d entries for %d rounds", len(res.Trace), res.Rounds)
+	}
+	if !res.Trace[len(res.Trace)-1].Equal(res.Final) {
+		t.Error("last trace entry is not the final configuration")
+	}
+	for i := 0; i+1 < len(res.Trace); i++ {
+		if res.Trace[i].Equal(res.Trace[i+1]) {
+			t.Errorf("rounds %d and %d identical — counted a no-op round", i, i+1)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	c := config.Line(grid.Origin, grid.NE, 7)
+	a := Run(core.Gatherer{}, c, Options{RecordTrace: true})
+	b := Run(core.Gatherer{}, c, Options{RecordTrace: true})
+	if a.Rounds != b.Rounds || a.Moves != b.Moves || a.Status != b.Status {
+		t.Fatal("two identical runs disagreed")
+	}
+	for i := range a.Trace {
+		if !a.Trace[i].Equal(b.Trace[i]) {
+			t.Fatalf("traces diverge at round %d", i)
+		}
+	}
+}
+
+func TestRunTranslationEquivariant(t *testing.T) {
+	c := config.Line(grid.Origin, grid.E, 7)
+	off := grid.Coord{Q: -13, R: 8}
+	a := Run(core.Gatherer{}, c, Options{})
+	b := Run(core.Gatherer{}, c.Translate(off), Options{})
+	if a.Rounds != b.Rounds || a.Moves != b.Moves {
+		t.Fatal("translation changed the run")
+	}
+	if !a.Final.Translate(off).Equal(b.Final) {
+		t.Fatalf("final configurations not translates:\n%v\n%v", a.Final, b.Final)
+	}
+}
+
+func TestRoundLimit(t *testing.T) {
+	// The greedy baseline livelocks on some configurations; without cycle
+	// detection the run must end at the round budget, not hang.
+	res := Run(core.GreedyEast{}, config.Line(grid.Origin, grid.NE, 7), Options{MaxRounds: 5})
+	if res.Status != RoundLimit && res.Status != Gathered && res.Status != Stalled && res.Status != Collision {
+		t.Fatalf("unexpected status %v", res.Status)
+	}
+	if res.Rounds > 5 {
+		t.Fatalf("exceeded round budget: %d", res.Rounds)
+	}
+}
+
+func TestDetectCollisionRules(t *testing.T) {
+	a := grid.Origin
+	b := grid.Coord{Q: 1, R: 0}
+	c := grid.Coord{Q: 2, R: 0}
+
+	// Rule (a): swap.
+	coll := DetectCollision(
+		[]grid.Coord{a, b},
+		[]grid.Coord{b, a},
+		[]bool{true, true},
+	)
+	if coll == nil || coll.Kind != Swap {
+		t.Errorf("swap not detected: %+v", coll)
+	}
+
+	// Rule (b): onto stationary.
+	coll = DetectCollision(
+		[]grid.Coord{a, b},
+		[]grid.Coord{b, b},
+		[]bool{true, false},
+	)
+	if coll == nil || coll.Kind != OntoStationary {
+		t.Errorf("onto-stationary not detected: %+v", coll)
+	}
+
+	// Rule (c): merge of two movers on an empty node.
+	coll = DetectCollision(
+		[]grid.Coord{a, c},
+		[]grid.Coord{b, b},
+		[]bool{true, true},
+	)
+	if coll == nil || coll.Kind != Merge {
+		t.Errorf("merge not detected: %+v", coll)
+	}
+
+	// Legal: follow-the-leader along one axis.
+	coll = DetectCollision(
+		[]grid.Coord{a, b},
+		[]grid.Coord{b, c},
+		[]bool{true, true},
+	)
+	if coll != nil {
+		t.Errorf("legal convoy flagged: %+v", coll)
+	}
+
+	// Legal: moving into a node its occupant vacates sideways.
+	d := grid.Coord{Q: 1, R: 1}
+	coll = DetectCollision(
+		[]grid.Coord{a, b},
+		[]grid.Coord{b, d},
+		[]bool{true, true},
+	)
+	if coll != nil {
+		t.Errorf("legal vacate-and-enter flagged: %+v", coll)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	want := map[Status]string{
+		Gathered: "gathered", Stalled: "stalled", Livelock: "livelock",
+		Collision: "collision", Disconnected: "disconnected", RoundLimit: "round-limit",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+	if Swap.String() != "swap" || OntoStationary.String() != "onto-stationary" || Merge.String() != "merge" {
+		t.Error("collision kind names wrong")
+	}
+}
+
+func TestStepCountsMovers(t *testing.T) {
+	c := config.Line(grid.Origin, grid.E, 7)
+	next, moved, coll := Step(core.Gatherer{}, c)
+	if coll != nil {
+		t.Fatalf("collision on first step: %+v", coll)
+	}
+	if moved == 0 {
+		t.Fatal("nobody moved from the line")
+	}
+	if next.Len() != 7 {
+		t.Fatalf("robot count changed: %d", next.Len())
+	}
+	if !next.Connected() {
+		t.Fatal("first step disconnected the line")
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	c := config.Line(grid.Origin, grid.E, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Step(core.Gatherer{}, c)
+	}
+}
+
+func BenchmarkRunLine(b *testing.B) {
+	c := config.Line(grid.Origin, grid.E, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Run(core.Gatherer{}, c, Options{}).Status != Gathered {
+			b.Fatal("run failed")
+		}
+	}
+}

@@ -1,0 +1,342 @@
+// Package synth reconstructs the movement rules the paper omits from its
+// printed pseudocode ("we omit the detail", §IV-A) as an exact-view rule
+// table. A stalled configuration is one in which every robot decides to
+// stay although the system has not gathered; for each such configuration
+// the synthesizer searches for a single robot move — keyed by that robot's
+// complete range-2 view, so the rule is a legitimate oblivious
+// Look-Compute-Move rule — that provably lets the run finish, and collects
+// the accepted rules into an override table.
+//
+// Every candidate rule is validated against all initial configurations
+// whose executions encounter the view (an occurrence index built during
+// the sweep), so a rule that unblocks one stall can never silently break
+// another run. The loop's acceptance criterion is the paper's own: with
+// the synthesized table installed, the algorithm must gather,
+// collision-free, from all 3652 connected initial configurations. The
+// table shipped in internal/core (overrides_gen.go) is the fixed point of
+// this loop; cmd/synth regenerates it.
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/enumerate"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/vision"
+)
+
+// Options tune the synthesis loop.
+type Options struct {
+	// MaxIterations bounds the outer repair loop (sweep → patch → sweep).
+	MaxIterations int
+	// MaxRounds bounds each validation run.
+	MaxRounds int
+	// Log receives progress lines; nil disables logging.
+	Log func(format string, args ...any)
+}
+
+// Result is the outcome of a synthesis run.
+type Result struct {
+	// Table is the synthesized view-override table.
+	Table map[string]core.Move
+	// Solved reports whether the final sweep gathered from every initial
+	// configuration.
+	Solved bool
+	// Iterations is the number of sweep-patch cycles performed.
+	Iterations int
+	// Remaining counts run outcomes after the final sweep.
+	Remaining map[sim.Status]int
+}
+
+func (o *Options) defaults() {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 200
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 2000
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+}
+
+// Synthesize runs the repair loop starting from the given table (nil for
+// empty) and returns the resulting table.
+func Synthesize(initial map[string]core.Move, opts Options) Result {
+	opts.defaults()
+	s := &state{
+		table:    map[string]core.Move{},
+		banned:   map[string]map[core.Move]bool{},
+		initials: enumerate.Connected(7),
+		opts:     opts,
+	}
+	for k, v := range initial {
+		s.table[k] = v
+	}
+
+	res := Result{Table: s.table}
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		failures, counts := s.sweep()
+		res.Remaining = counts
+		opts.Log("iter %d: %d failure classes, remaining %v, table %d", iter, len(failures), counts, len(s.table))
+		if len(failures) == 0 {
+			res.Solved = true
+			return res
+		}
+		progress := false
+		for _, f := range failures {
+			switch f.status {
+			case sim.Stalled:
+				if s.patchStall(f.cfg) {
+					progress = true
+				}
+			default:
+				if s.retract(f.cfg) {
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			opts.Log("iter %d: no progress, stopping", iter)
+			return res
+		}
+	}
+	return res
+}
+
+type failure struct {
+	cfg    config.Config
+	status sim.Status
+}
+
+// state carries the evolving table and the occurrence index.
+type state struct {
+	table    map[string]core.Move
+	banned   map[string]map[core.Move]bool
+	initials []config.Config
+	opts     Options
+	// index maps a view key to the indices of initial configurations
+	// whose current executions encounter that view. Rebuilt each sweep;
+	// slightly stale within an iteration, which the next sweep corrects.
+	index map[string][]int32
+	// status of each initial configuration in the last sweep.
+	status []sim.Status
+}
+
+// sweep runs the full verification, rebuilding the occurrence index, and
+// returns one representative failure per distinct terminal pattern plus
+// the status counts.
+func (s *state) sweep() ([]failure, map[sim.Status]int) {
+	alg := core.Gatherer{Table: s.table}
+	counts := map[sim.Status]int{}
+	seen := map[string]bool{}
+	s.index = map[string][]int32{}
+	s.status = make([]sim.Status, len(s.initials))
+	var out []failure
+	for i, c := range s.initials {
+		r := s.runIndexed(alg, c, int32(i))
+		counts[r.Status]++
+		s.status[i] = r.Status
+		if r.Status == sim.Gathered {
+			continue
+		}
+		term := r.Final
+		if r.Status == sim.Disconnected && len(r.Trace) >= 2 {
+			term = r.Trace[len(r.Trace)-2]
+		}
+		k := r.Status.String() + "|" + term.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, failure{cfg: term.Normalize(), status: r.Status})
+		}
+	}
+	return out, counts
+}
+
+// runIndexed simulates one run, adding every encountered view to the
+// occurrence index.
+func (s *state) runIndexed(alg core.Algorithm, c config.Config, idx int32) sim.Result {
+	seenKeys := map[string]bool{}
+	record := func(cfg config.Config) {
+		for _, pos := range cfg.Nodes() {
+			k := vision.Look(cfg, pos, 2).Key()
+			if !seenKeys[k] {
+				seenKeys[k] = true
+				s.index[k] = append(s.index[k], idx)
+			}
+		}
+	}
+	r := sim.Run(alg, c, sim.Options{
+		DetectCycles:     true,
+		StopOnDisconnect: true,
+		MaxRounds:        s.opts.MaxRounds,
+		RecordTrace:      true,
+	})
+	for _, cfg := range r.Trace {
+		record(cfg)
+	}
+	return r
+}
+
+// patchStall tries to add one override that unblocks the stalled
+// configuration without regressing any other run. Returns true if an
+// override was committed.
+func (s *state) patchStall(stall config.Config) bool {
+	type candidate struct {
+		key   string
+		move  core.Move
+		score int
+	}
+	var cands []candidate
+	for _, pos := range stall.Nodes() {
+		v := vision.Look(stall, pos, 2)
+		key := v.Key()
+		if _, exists := s.table[key]; exists {
+			continue // this view already has a rule; it evidently stays
+		}
+		for _, d := range grid.Directions {
+			m := core.MoveIn(d)
+			if s.banned[key][m] {
+				continue
+			}
+			if !v.Empty(d.Delta()) || !core.SafeMove(v, d) {
+				continue
+			}
+			cands = append(cands, candidate{key: key, move: m, score: moveScore(stall, pos, d)})
+		}
+	}
+	// Prefer compacting moves (largest reduction of total pairwise
+	// distance), deterministically.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		if cands[i].key != cands[j].key {
+			return cands[i].key < cands[j].key
+		}
+		return cands[i].move < cands[j].move
+	})
+	// Two acceptance passes: candidates that let the stalled run gather
+	// outright, then candidates that convert it into a different stall
+	// (chain progress the outer loop keeps patching). Either way the
+	// candidate must not regress any run that encounters the view.
+	for pass := 0; pass < 2; pass++ {
+		for _, c := range cands {
+			s.table[c.key] = c.move
+			status, term := s.runFrom(stall)
+			ok := status == sim.Gathered ||
+				(pass == 1 && status == sim.Stalled && term != stall.Key())
+			if ok && s.noRegressions(c.key) {
+				return true
+			}
+			delete(s.table, c.key)
+			if pass == 1 {
+				s.ban(c.key, c.move)
+			}
+		}
+	}
+	return false
+}
+
+// noRegressions re-runs every initial configuration whose execution
+// encountered the view and checks that no previously gathering run fails
+// and no run ends in a collision or disconnection.
+func (s *state) noRegressions(viewKey string) bool {
+	alg := core.Gatherer{Table: s.table}
+	for _, idx := range s.index[viewKey] {
+		r := sim.Run(alg, s.initials[idx], sim.Options{
+			DetectCycles:     true,
+			StopOnDisconnect: true,
+			MaxRounds:        s.opts.MaxRounds,
+		})
+		if r.Status == sim.Gathered {
+			continue
+		}
+		if s.status[idx] == sim.Gathered {
+			return false // broke a working run
+		}
+		if r.Status == sim.Collision || r.Status == sim.Disconnected || r.Status == sim.Livelock {
+			return false // made a failure worse
+		}
+	}
+	return true
+}
+
+// retract removes overrides that fire in cfg, banning them. Returns true
+// if anything was removed.
+func (s *state) retract(cfg config.Config) bool {
+	removed := false
+	for _, pos := range cfg.Nodes() {
+		key := vision.Look(cfg, pos, 2).Key()
+		if m, ok := s.table[key]; ok {
+			delete(s.table, key)
+			s.ban(key, m)
+			removed = true
+		}
+	}
+	return removed
+}
+
+func (s *state) ban(key string, m core.Move) {
+	if s.banned[key] == nil {
+		s.banned[key] = map[core.Move]bool{}
+	}
+	s.banned[key][m] = true
+}
+
+// runFrom runs from cfg and returns the status and the normalized key of
+// the terminal pattern.
+func (s *state) runFrom(cfg config.Config) (sim.Status, string) {
+	r := sim.Run(core.Gatherer{Table: s.table}, cfg, sim.Options{
+		DetectCycles:     true,
+		StopOnDisconnect: true,
+		MaxRounds:        s.opts.MaxRounds,
+	})
+	return r.Status, r.Final.Key()
+}
+
+// moveScore rates a candidate move: the decrease in the sum of pairwise
+// distances (compaction progress).
+func moveScore(c config.Config, pos grid.Coord, d grid.Direction) int {
+	to := pos.Step(d)
+	before, after := 0, 0
+	for _, v := range c.Nodes() {
+		if v == pos {
+			continue
+		}
+		before += pos.Distance(v)
+		after += to.Distance(v)
+	}
+	return before - after
+}
+
+// Format renders a table as the Go source of overrides_gen.go.
+func Format(table map[string]core.Move) string {
+	keys := make([]string, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := "// Code generated by cmd/synth; DO NOT EDIT.\n\npackage core\n\nimport \"repro/internal/grid\"\n\n" +
+		"// generatedOverrides is the synthesized view table: the omitted behaviours\n" +
+		"// of the paper's Algorithm 1 reconstructed as exact-view rules. Each entry\n" +
+		"// maps the canonical key of a robot's complete range-2 view to the move\n" +
+		"// the robot makes in that situation. Regenerate with: go run ./cmd/synth\n" +
+		"var generatedOverrides = map[string]Move{\n"
+	for _, k := range keys {
+		s += fmt.Sprintf("\t%q: %s,\n", k, moveExpr(table[k]))
+	}
+	return s + "}\n"
+}
+
+func moveExpr(m core.Move) string {
+	if !m.IsMove() {
+		return "Stay"
+	}
+	return "MoveIn(grid." + m.Direction().String() + ")"
+}

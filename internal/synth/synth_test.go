@@ -1,0 +1,77 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+func TestFormatDeterministicAndValid(t *testing.T) {
+	table := map[string]core.Move{
+		"r2:0,0;1,0":  core.MoveIn(grid.E),
+		"r2:0,0;0,1":  core.MoveIn(grid.SE),
+		"r2:-1,0;0,0": core.MoveIn(grid.NW),
+	}
+	a := Format(table)
+	b := Format(table)
+	if a != b {
+		t.Fatal("Format not deterministic")
+	}
+	for _, want := range []string{
+		"package core",
+		`"r2:-1,0;0,0": MoveIn(grid.NW),`,
+		`"r2:0,0;0,1": MoveIn(grid.SE),`,
+		`"r2:0,0;1,0": MoveIn(grid.E),`,
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("generated source missing %q:\n%s", want, a)
+		}
+	}
+	// Keys must appear in sorted order.
+	if strings.Index(a, "r2:-1,0;0,0") > strings.Index(a, "r2:0,0;0,1") {
+		t.Error("keys not sorted")
+	}
+}
+
+func TestFormatStay(t *testing.T) {
+	s := Format(map[string]core.Move{"r2:0,0": core.Stay})
+	if !strings.Contains(s, `"r2:0,0": Stay,`) {
+		t.Errorf("Stay not rendered:\n%s", s)
+	}
+}
+
+// TestShippedTableIsFixedPoint re-runs the synthesis loop seeded with the
+// shipped table; it must report solved immediately with no additions —
+// the shipped overrides_gen.go is the loop's fixed point.
+func TestShippedTableIsFixedPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesis sweep skipped in -short mode")
+	}
+	res := Synthesize(core.GeneratedOverrides(), Options{MaxIterations: 1})
+	if !res.Solved {
+		t.Fatalf("shipped table is not a fixed point: remaining %v", res.Remaining)
+	}
+	if len(res.Table) != len(core.GeneratedOverrides()) {
+		t.Fatalf("synthesis modified the shipped table: %d vs %d entries",
+			len(res.Table), len(core.GeneratedOverrides()))
+	}
+}
+
+// TestSynthesisFromScratchSolves regenerates the table from nothing; this
+// is the cmd/synth path and must converge.
+func TestSynthesisFromScratchSolves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis skipped in -short mode")
+	}
+	res := Synthesize(nil, Options{})
+	if !res.Solved {
+		t.Fatalf("synthesis did not converge: remaining %v after %d iterations",
+			res.Remaining, res.Iterations)
+	}
+	if len(res.Table) == 0 {
+		t.Fatal("converged with an empty table (implausible)")
+	}
+	t.Logf("synthesized %d overrides in %d iterations", len(res.Table), res.Iterations)
+}

@@ -1,0 +1,98 @@
+// Package trace serializes executions to JSON for replay, regression
+// fixtures and external analysis. A record stores the configurations of
+// every round in the canonical key format of package config, so a record
+// is both human-inspectable and machine-checkable: Replay re-simulates the
+// run and verifies the recorded rounds.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Record is a serialized execution.
+type Record struct {
+	// Algorithm is the algorithm name (informational).
+	Algorithm string `json:"algorithm"`
+	// Status is the run outcome name.
+	Status string `json:"status"`
+	// Rounds and Moves summarize the run.
+	Rounds int `json:"rounds"`
+	Moves  int `json:"moves"`
+	// Steps holds the canonical key of each configuration, initial first.
+	Steps []string `json:"steps"`
+}
+
+// Capture runs alg from initial with tracing and packages the result.
+func Capture(alg core.Algorithm, initial config.Config, opts sim.Options) (Record, sim.Result) {
+	opts.RecordTrace = true
+	res := sim.Run(alg, initial, opts)
+	rec := Record{
+		Algorithm: alg.Name(),
+		Status:    res.Status.String(),
+		Rounds:    res.Rounds,
+		Moves:     res.Moves,
+	}
+	for _, c := range res.Trace {
+		rec.Steps = append(rec.Steps, c.Key())
+	}
+	return rec, res
+}
+
+// Write encodes the record as indented JSON.
+func Write(w io.Writer, rec Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}
+
+// Read decodes a record.
+func Read(r io.Reader) (Record, error) {
+	var rec Record
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		return Record{}, fmt.Errorf("trace: decode: %w", err)
+	}
+	if len(rec.Steps) == 0 {
+		return Record{}, fmt.Errorf("trace: record has no steps")
+	}
+	return rec, nil
+}
+
+// Configs parses the recorded steps.
+func (rec Record) Configs() ([]config.Config, error) {
+	out := make([]config.Config, len(rec.Steps))
+	for i, s := range rec.Steps {
+		c, err := config.ParseKey(s)
+		if err != nil {
+			return nil, fmt.Errorf("trace: step %d: %w", i, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Replay re-simulates the record under alg and verifies every recorded
+// round matches (up to translation, which the canonical keys encode).
+func Replay(rec Record, alg core.Algorithm) error {
+	steps, err := rec.Configs()
+	if err != nil {
+		return err
+	}
+	cur := steps[0]
+	for i := 1; i < len(steps); i++ {
+		next, _, coll := sim.Step(alg, cur)
+		if coll != nil {
+			return fmt.Errorf("trace: replay collided at round %d: %v at %v", i, coll.Kind, coll.Node)
+		}
+		if next.Key() != steps[i].Key() {
+			return fmt.Errorf("trace: replay diverged at round %d:\nwant %s\ngot  %s", i, steps[i].Key(), next.Key())
+		}
+		cur = next
+	}
+	return nil
+}

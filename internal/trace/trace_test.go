@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+func TestCaptureWriteReadReplay(t *testing.T) {
+	rec, res := Capture(core.Gatherer{}, config.Line(grid.Origin, grid.E, 7), sim.Options{DetectCycles: true})
+	if res.Status != sim.Gathered {
+		t.Fatalf("capture run: %v", res.Status)
+	}
+	if len(rec.Steps) != res.Rounds+1 {
+		t.Fatalf("record has %d steps for %d rounds", len(rec.Steps), res.Rounds)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != rec.Algorithm || back.Rounds != rec.Rounds || len(back.Steps) != len(rec.Steps) {
+		t.Fatal("round trip changed the record")
+	}
+	if err := Replay(back, core.Gatherer{}); err != nil {
+		t.Fatalf("replay failed: %v", err)
+	}
+}
+
+func TestReplayDetectsTampering(t *testing.T) {
+	rec, _ := Capture(core.Gatherer{}, config.Line(grid.Origin, grid.NE, 7), sim.Options{DetectCycles: true})
+	if len(rec.Steps) < 3 {
+		t.Fatal("run too short for the test")
+	}
+	rec.Steps[1] = rec.Steps[2] // corrupt one round
+	if err := Replay(rec, core.Gatherer{}); err == nil {
+		t.Fatal("replay accepted a tampered record")
+	}
+}
+
+func TestReplayDetectsWrongAlgorithm(t *testing.T) {
+	rec, _ := Capture(core.Gatherer{}, config.Line(grid.Origin, grid.E, 7), sim.Options{DetectCycles: true})
+	if err := Replay(rec, core.Idle{}); err == nil {
+		t.Fatal("replay under idle algorithm should diverge")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"steps":[]}`)); err == nil {
+		t.Error("empty record accepted")
+	}
+}
+
+func TestConfigsParsesSteps(t *testing.T) {
+	rec, _ := Capture(core.Gatherer{}, config.Hexagon(grid.Origin), sim.Options{})
+	steps, err := rec.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 1 || !steps[0].Gathered() {
+		t.Fatalf("hexagon capture steps wrong: %v", steps)
+	}
+}

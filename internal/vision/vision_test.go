@@ -1,0 +1,169 @@
+package vision
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/grid"
+)
+
+func TestLookSelfAlwaysVisible(t *testing.T) {
+	c := config.Hexagon(grid.Origin)
+	v := Look(c, grid.Origin, 1)
+	if !v.Robot(grid.Origin) {
+		t.Fatal("observer not in its own view")
+	}
+}
+
+func TestLookRangeLimits(t *testing.T) {
+	// Paper Fig. 3: a robot sees adjacent robots at range 1 and also the
+	// distance-2 robots at range 2.
+	c := config.New(
+		grid.Origin,
+		grid.Origin.Step(grid.E),
+		grid.Origin.Step(grid.SW),
+		grid.Origin.Step(grid.NE),
+		grid.Origin.Step(grid.E).Step(grid.E),   // distance 2
+		grid.Origin.Step(grid.NE).Step(grid.NE), // distance 2
+	)
+	v1 := Look(c, grid.Origin, 1)
+	if v1.Count() != 4 { // self + 3 neighbors
+		t.Fatalf("range-1 view sees %d robots, want 4", v1.Count())
+	}
+	if v1.Robot(grid.Coord{Q: 2, R: 0}) {
+		t.Error("range-1 view sees distance-2 robot")
+	}
+	v2 := Look(c, grid.Origin, 2)
+	if v2.Count() != 6 {
+		t.Fatalf("range-2 view sees %d robots, want 6", v2.Count())
+	}
+	if !v2.Robot(grid.Coord{Q: 2, R: 0}) || !v2.Robot(grid.Coord{Q: 0, R: 2}) {
+		t.Error("range-2 view missing distance-2 robots")
+	}
+}
+
+func TestTransparency(t *testing.T) {
+	// Robots are transparent: with E and EE both occupied, both are seen.
+	c := config.Line(grid.Origin, grid.E, 3)
+	v := Look(c, grid.Origin, 2)
+	if !v.Robot(grid.Coord{Q: 1, R: 0}) || !v.Robot(grid.Coord{Q: 2, R: 0}) {
+		t.Fatal("transparency violated: robot behind robot not seen")
+	}
+}
+
+func TestLookPanicsOffRobot(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Look from empty node did not panic")
+		}
+	}()
+	Look(config.Hexagon(grid.Origin), grid.Coord{Q: 9, R: 9}, 1)
+}
+
+func TestEmptyVsOutOfRange(t *testing.T) {
+	c := config.New(grid.Origin, grid.Origin.Step(grid.E))
+	v := Look(c, grid.Origin, 1)
+	w := grid.Coord{Q: -1, R: 0}
+	if !v.Empty(w) {
+		t.Error("visible empty node not Empty")
+	}
+	far := grid.Coord{Q: 2, R: 0}
+	if v.Empty(far) || v.Robot(far) {
+		t.Error("out-of-range node must be neither Empty nor Robot")
+	}
+}
+
+func TestLabelAddressing(t *testing.T) {
+	c := config.New(grid.Origin, grid.Origin.Step(grid.E), grid.Origin.Step(grid.E).Step(grid.E))
+	v := Look(c, grid.Origin, 2)
+	if !v.RobotL(grid.L(2, 0)) || !v.RobotL(grid.L(4, 0)) {
+		t.Error("label addressing missed robots at (2,0)/(4,0)")
+	}
+	if !v.EmptyL(grid.L(1, 1)) {
+		t.Error("label (1,1) should be empty")
+	}
+	if v.EmptyL(grid.L(6, 0)) {
+		t.Error("label (6,0) is out of range, not empty")
+	}
+}
+
+func TestAdjacentRobots(t *testing.T) {
+	c := config.New(grid.Origin, grid.Origin.Step(grid.NW), grid.Origin.Step(grid.SE))
+	v := Look(c, grid.Origin, 1)
+	adj := v.AdjacentRobots()
+	if len(adj) != 2 || adj[0] != grid.NW || adj[1] != grid.SE {
+		t.Fatalf("AdjacentRobots = %v", adj)
+	}
+}
+
+func TestViewTranslationInvariance(t *testing.T) {
+	base := config.Hexagon(grid.Origin)
+	f := func(dq, dr int8) bool {
+		off := grid.Coord{Q: int(dq), R: int(dr)}
+		moved := base.Translate(off)
+		return Look(base, grid.Origin, 2).Key() == Look(moved, off, 2).Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMask6RoundTrip(t *testing.T) {
+	for m := 0; m < 64; m++ {
+		v := Mask6View(uint8(m))
+		if got := v.Mask6(); got != uint8(m) {
+			t.Fatalf("mask %06b round-tripped to %06b", m, got)
+		}
+		if v.Count() != 1+popcount(uint8(m)) {
+			t.Fatalf("mask %06b count %d", m, v.Count())
+		}
+	}
+}
+
+func TestMask6MatchesLook(t *testing.T) {
+	c := config.New(grid.Origin, grid.Origin.Step(grid.E), grid.Origin.Step(grid.SW))
+	v := Look(c, grid.Origin, 1)
+	// E is Directions[0] (bit 0), SW is Directions[4] (bit 4).
+	if want := uint8(1<<0 | 1<<4); v.Mask6() != want {
+		t.Fatalf("Mask6 = %06b, want %06b", v.Mask6(), want)
+	}
+}
+
+func TestMask6PanicsOnRange2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Mask6 on range-2 view did not panic")
+		}
+	}()
+	Look(config.Hexagon(grid.Origin), grid.Origin, 2).Mask6()
+}
+
+func TestFromOffsetsValidation(t *testing.T) {
+	v := FromOffsets(2, grid.Coord{Q: 2, R: 0})
+	if !v.Robot(grid.Coord{Q: 2, R: 0}) {
+		t.Error("FromOffsets dropped a robot")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FromOffsets accepted out-of-range offset")
+		}
+	}()
+	FromOffsets(1, grid.Coord{Q: 2, R: 0})
+}
+
+func TestKeyDeterministic(t *testing.T) {
+	a := FromOffsets(2, grid.Coord{Q: 1, R: 0}, grid.Coord{Q: 0, R: 1})
+	b := FromOffsets(2, grid.Coord{Q: 0, R: 1}, grid.Coord{Q: 1, R: 0})
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ for equal views: %q vs %q", a.Key(), b.Key())
+	}
+}
+
+func popcount(m uint8) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+// Package viz renders configurations and traces as ASCII pictures in the
+// natural triangular-grid projection (one step east = two character
+// columns, one step northeast = one column right and one row up), matching
+// the figures of the paper and the input format of config.FromASCII.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/grid"
+)
+
+// Options tune rendering.
+type Options struct {
+	// Robot is the glyph for robot nodes (default 'o').
+	Robot byte
+	// Empty is the glyph for empty nodes inside the bounding box
+	// (default ' '; use '.' to show the lattice).
+	Empty byte
+	// Mark highlights one node with a distinct glyph ('*') — used to show
+	// hexagon centers or base nodes.
+	Mark *grid.Coord
+	// Margin adds empty lattice rows/columns around the bounding box.
+	Margin int
+}
+
+// Render draws the configuration.
+func Render(c config.Config, opts Options) string {
+	if opts.Robot == 0 {
+		opts.Robot = 'o'
+	}
+	if opts.Empty == 0 {
+		opts.Empty = ' '
+	}
+	nodes := c.Nodes()
+	if len(nodes) == 0 {
+		return ""
+	}
+	minX, maxX := 1<<30, -(1 << 30)
+	minR, maxR := 1<<30, -(1 << 30)
+	bound := func(v grid.Coord) {
+		x := 2*v.Q + v.R
+		if x < minX {
+			minX = x
+		}
+		if x > maxX {
+			maxX = x
+		}
+		if v.R < minR {
+			minR = v.R
+		}
+		if v.R > maxR {
+			maxR = v.R
+		}
+	}
+	for _, v := range nodes {
+		bound(v)
+	}
+	if opts.Mark != nil {
+		bound(*opts.Mark)
+	}
+	minX -= 2 * opts.Margin
+	maxX += 2 * opts.Margin
+	minR -= opts.Margin
+	maxR += opts.Margin
+
+	rows := make([][]byte, maxR-minR+1)
+	for i := range rows {
+		r := maxR - i
+		rows[i] = make([]byte, maxX-minX+1)
+		for j := range rows[i] {
+			// Lattice nodes exist where x ≡ r (mod 2).
+			x := minX + j
+			if (x-r)%2 == 0 {
+				rows[i][j] = opts.Empty
+			} else {
+				rows[i][j] = ' '
+			}
+		}
+	}
+	put := func(v grid.Coord, glyph byte) {
+		x := 2*v.Q + v.R
+		rows[maxR-v.R][x-minX] = glyph
+	}
+	for _, v := range nodes {
+		put(v, opts.Robot)
+	}
+	if opts.Mark != nil {
+		put(*opts.Mark, '*')
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		b.Write([]byte(strings.TrimRight(string(row), " ")))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderSimple draws with default options.
+func RenderSimple(c config.Config) string { return Render(c, Options{}) }
+
+// RenderTrace draws a sequence of configurations with round headers.
+func RenderTrace(trace []config.Config, opts Options) string {
+	var b strings.Builder
+	for i, c := range trace {
+		fmt.Fprintf(&b, "round %d:\n%s", i, Render(c, opts))
+		if i < len(trace)-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// SideBySide joins two renderings column-wise with a gutter, for
+// before/after displays.
+func SideBySide(left, right string, gutter string) string {
+	ls := strings.Split(strings.TrimRight(left, "\n"), "\n")
+	rs := strings.Split(strings.TrimRight(right, "\n"), "\n")
+	width := 0
+	for _, l := range ls {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	n := len(ls)
+	if len(rs) > n {
+		n = len(rs)
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		var l, r string
+		if i < len(ls) {
+			l = ls[i]
+		}
+		if i < len(rs) {
+			r = rs[i]
+		}
+		fmt.Fprintf(&b, "%-*s%s%s\n", width, l, gutter, r)
+	}
+	return b.String()
+}

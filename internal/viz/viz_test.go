@@ -1,0 +1,84 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/grid"
+)
+
+func TestRenderRoundTripsThroughParser(t *testing.T) {
+	shapes := []config.Config{
+		config.Hexagon(grid.Origin),
+		config.Line(grid.Origin, grid.E, 7),
+		config.Line(grid.Origin, grid.NE, 5),
+		config.Line(grid.Origin, grid.SE, 4),
+		config.MustFromASCII("o . o\n o o"),
+	}
+	for _, c := range shapes {
+		art := RenderSimple(c)
+		parsed, err := config.FromASCII(art)
+		if err != nil {
+			t.Fatalf("rendered art unparseable:\n%s\nerr: %v", art, err)
+		}
+		if !parsed.SamePattern(c) {
+			t.Fatalf("render/parse round trip changed pattern:\n%s", art)
+		}
+	}
+}
+
+func TestRenderMark(t *testing.T) {
+	hex := config.Hexagon(grid.Origin)
+	center := grid.Origin
+	art := Render(hex, Options{Mark: &center})
+	if !strings.Contains(art, "*") {
+		t.Fatalf("mark missing:\n%s", art)
+	}
+	if strings.Count(art, "o") != 6 {
+		t.Fatalf("want 6 'o' plus mark:\n%s", art)
+	}
+}
+
+func TestRenderLatticeDots(t *testing.T) {
+	c := config.New(grid.Origin, grid.Origin.Step(grid.E).Step(grid.E))
+	art := Render(c, Options{Empty: '.'})
+	// The empty node between the two robots must show as a lattice dot.
+	if !strings.Contains(art, "o . o") {
+		t.Fatalf("lattice dots wrong:\n%q", art)
+	}
+}
+
+func TestRenderEmptyConfig(t *testing.T) {
+	if got := RenderSimple(config.New()); got != "" {
+		t.Fatalf("empty config rendered %q", got)
+	}
+}
+
+func TestRenderMargin(t *testing.T) {
+	c := config.New(grid.Origin)
+	plain := Render(c, Options{})
+	padded := Render(c, Options{Margin: 1})
+	if len(strings.Split(padded, "\n")) <= len(strings.Split(plain, "\n")) {
+		t.Fatal("margin did not add rows")
+	}
+}
+
+func TestRenderTraceHeaders(t *testing.T) {
+	tr := []config.Config{config.New(grid.Origin), config.New(grid.Origin.Step(grid.E))}
+	out := RenderTrace(tr, Options{})
+	if !strings.Contains(out, "round 0:") || !strings.Contains(out, "round 1:") {
+		t.Fatalf("trace headers missing:\n%s", out)
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	out := SideBySide("ab\ncd", "x\ny\nz", " | ")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("side-by-side has %d lines", len(lines))
+	}
+	if lines[0] != "ab | x" || lines[2] != "   | z" {
+		t.Fatalf("layout wrong: %q", lines)
+	}
+}
