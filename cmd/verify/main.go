@@ -45,7 +45,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	report := exhaustive.Verify(alg, exhaustive.Options{Workers: *workers})
+	// One shared view→move cache for the whole invocation: every worker
+	// and (with future multi-sweep flags) every sweep hits the same table.
+	report := exhaustive.Verify(alg, exhaustive.Options{Workers: *workers, Cache: core.NewMemo()})
 	fmt.Println(report)
 
 	if *stats {

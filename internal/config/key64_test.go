@@ -1,0 +1,95 @@
+package config
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func randomPattern(rng *rand.Rand, n, spread int) Config {
+	nodes := make([]grid.Coord, n)
+	for i := range nodes {
+		nodes[i] = grid.Coord{Q: rng.Intn(2*spread) - spread, R: rng.Intn(2*spread) - spread}
+	}
+	return New(nodes...)
+}
+
+// TestKey64AgreesWithKey is the contract: on exactly-encodable patterns,
+// Key64 equality must coincide with string-Key equality.
+func TestKey64AgreesWithKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	byKey64 := map[uint64]string{}
+	byKey := map[string]uint64{}
+	for i := 0; i < 5000; i++ {
+		c := randomPattern(rng, 1+rng.Intn(7), 5)
+		k64, exact := c.Key64()
+		if !exact {
+			t.Fatalf("small pattern unexpectedly inexact: %s", c.Key())
+		}
+		ks := c.Key()
+		if prev, ok := byKey64[k64]; ok && prev != ks {
+			t.Fatalf("Key64 collision: %q and %q share %#x", prev, ks, k64)
+		}
+		if prev, ok := byKey[ks]; ok && prev != k64 {
+			t.Fatalf("one pattern, two Key64 values: %q -> %#x and %#x", ks, prev, k64)
+		}
+		byKey64[k64] = ks
+		byKey[ks] = k64
+	}
+}
+
+func TestKey64TranslationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		c := randomPattern(rng, 1+rng.Intn(7), 5)
+		d := grid.Coord{Q: rng.Intn(40) - 20, R: rng.Intn(40) - 20}
+		k1, ok1 := c.Key64()
+		k2, ok2 := c.Translate(d).Key64()
+		if ok1 != ok2 || k1 != k2 {
+			t.Fatalf("translation changed key: %#x/%v vs %#x/%v for %s", k1, ok1, k2, ok2, c.Key())
+		}
+	}
+}
+
+func TestKey64FallsBackOutsideEnvelope(t *testing.T) {
+	if _, exact := Line(grid.Origin, grid.E, 8).Key64(); exact {
+		t.Fatal("8-node pattern claimed exact")
+	}
+	wide := New(grid.Origin, grid.Coord{Q: 16, R: 0})
+	if _, exact := wide.Key64(); exact {
+		t.Fatal("spread-16 pattern claimed exact")
+	}
+	if k, exact := (Config{}).Key64(); !exact || k != 0 {
+		t.Fatalf("empty pattern: key %#x exact %v", k, exact)
+	}
+}
+
+func TestPatternSetExactAndSlow(t *testing.T) {
+	var s PatternSet
+	small := Hexagon(grid.Origin)
+	big := Line(grid.Origin, grid.E, 9) // inexact: exercises the string path
+	for i, c := range []Config{small, big} {
+		if !s.Add(c) {
+			t.Fatalf("pattern %d reported as duplicate on first add", i)
+		}
+		if s.Add(c.Translate(grid.Coord{Q: 3, R: -2})) {
+			t.Fatalf("translated pattern %d not recognized as duplicate", i)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("PatternSet length %d, want 2", s.Len())
+	}
+}
+
+func TestCompareOrdersConfigs(t *testing.T) {
+	a := New(grid.Origin)
+	b := New(grid.Origin, grid.Coord{Q: 1, R: 0})
+	c := New(grid.Origin, grid.Coord{Q: 1, R: 1})
+	if a.Compare(b) >= 0 || b.Compare(c) >= 0 || c.Compare(b) <= 0 {
+		t.Fatal("Compare ordering broken")
+	}
+	if b.Compare(b) != 0 {
+		t.Fatal("Compare not reflexive")
+	}
+}

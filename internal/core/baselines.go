@@ -27,6 +27,9 @@ func (a Idle) VisibilityRange() int {
 // Compute implements Algorithm: never move.
 func (Idle) Compute(vision.View) Move { return Stay }
 
+// ComputePacked implements PackedAlgorithm: never move, no table needed.
+func (Idle) ComputePacked(vision.PackedView) Move { return Stay }
+
 // GreedyEast is the naive baseline the paper's guards exist to beat: every
 // robot that sees a robot node with a strictly larger x-element than every
 // node of its own column steps toward it (east if possible, otherwise the
@@ -74,6 +77,13 @@ func (GreedyEast) Compute(v vision.View) Move {
 	return Stay
 }
 
+// greedyMemo backs GreedyEast.ComputePacked; like the Gatherer memos it
+// is process-wide — GreedyEast is stateless, so decisions never go stale.
+var greedyMemo = newMemoTable()
+
+// ComputePacked implements PackedAlgorithm.
+func (g GreedyEast) ComputePacked(pv vision.PackedView) Move { return greedyMemo.compute(g, pv) }
+
 func betterTarget(a, b grid.Label) bool {
 	if a.X != b.X {
 		return a.X > b.X
@@ -93,6 +103,6 @@ func abs(x int) int {
 }
 
 var (
-	_ Algorithm = Idle{}
-	_ Algorithm = GreedyEast{}
+	_ PackedAlgorithm = Idle{}
+	_ PackedAlgorithm = GreedyEast{}
 )

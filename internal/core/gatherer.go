@@ -87,4 +87,29 @@ func (g Gatherer) Compute(v vision.View) Move {
 	return reconstructionMove(v)
 }
 
-var _ Algorithm = Gatherer{}
+// gathererMemos are the process-wide memo tables behind ComputePacked,
+// one per variant so ablations never share decisions. They are shared
+// across every run and sweep in the process — the second sweep of a
+// benchmark starts fully warm. (To share decisions across processes of
+// a wider pipeline, wrap with core.Memoize and a caller-owned Memo.)
+var gathererMemos = func() (ms [len(variantNames)]*memoTable) {
+	for i := range ms {
+		ms[i] = newMemoTable()
+	}
+	return ms
+}()
+
+// ComputePacked implements PackedAlgorithm: a memoized Compute. The
+// sweep workloads revisit a small set of distinct views, so after warmup
+// the Look-Compute decision is a table hit with no allocation. A
+// Gatherer with a custom Table bypasses the memo: the synthesizer
+// mutates tables between runs, and cached decisions would leak across
+// candidate tables.
+func (g Gatherer) ComputePacked(pv vision.PackedView) Move {
+	if g.Table != nil || int(g.Variant) >= len(gathererMemos) {
+		return g.Compute(pv.Unpack())
+	}
+	return gathererMemos[g.Variant].compute(g, pv)
+}
+
+var _ PackedAlgorithm = Gatherer{}

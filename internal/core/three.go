@@ -125,4 +125,11 @@ func TriangleGathered(robots []grid.Coord) bool {
 	return len(robots) == 3 && isTriangle(robots)
 }
 
-var _ Algorithm = ThreeGatherer{}
+// threeMemo backs ThreeGatherer.ComputePacked (shared like the others;
+// the algorithm is stateless).
+var threeMemo = newMemoTable()
+
+// ComputePacked implements PackedAlgorithm.
+func (t ThreeGatherer) ComputePacked(pv vision.PackedView) Move { return threeMemo.compute(t, pv) }
+
+var _ PackedAlgorithm = ThreeGatherer{}

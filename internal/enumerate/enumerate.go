@@ -9,6 +9,13 @@
 // entry. Rotations and reflections are NOT identified: the paper's robots
 // share a global compass, so differently oriented patterns are genuinely
 // different inputs.
+//
+// Deduplication runs on the packed engine's compact pattern keys
+// (config.Key64Nodes): a candidate extension is keyed without
+// materializing it, so duplicate candidates — the vast majority at the
+// larger sizes — cost one integer map probe and no allocation. Patterns
+// outside the exact 64-bit encoding fall back to string keys with
+// identical semantics.
 package enumerate
 
 import (
@@ -25,22 +32,14 @@ import (
 var KnownCounts = [8]int{0: 1, 1: 1, 2: 3, 3: 11, 4: 44, 5: 186, 6: 814, 7: 3652}
 
 // Connected returns all connected n-node configurations up to translation,
-// sorted by canonical key so the output order is deterministic. It grows
-// patterns one node at a time, deduplicating by normalized key.
+// sorted by node list (config.Compare) so the output order is
+// deterministic. It grows patterns one node at a time, deduplicating by
+// compact key.
 func Connected(n int) []config.Config {
-	if n < 0 {
-		panic("enumerate: negative size")
-	}
 	if n == 0 {
 		return nil
 	}
-	current := map[string]config.Config{
-		config.New(grid.Origin).Key(): config.New(grid.Origin),
-	}
-	for size := 1; size < n; size++ {
-		current = growAll(current)
-	}
-	return sortedValues(current)
+	return connectedMap(n).sorted()
 }
 
 // ConnectedParallel is Connected with the growth step fanned out over a
@@ -56,100 +55,188 @@ func ConnectedParallel(n, workers int) []config.Config {
 		}
 		return nil
 	}
-	current := map[string]config.Config{
-		config.New(grid.Origin).Key(): config.New(grid.Origin),
-	}
+	current := seedPatterns()
 	for size := 1; size < n; size++ {
 		current = growAllParallel(current, workers)
 	}
-	return sortedValues(current)
-}
-
-// growAll extends every pattern by one adjacent node, deduplicating.
-func growAll(in map[string]config.Config) map[string]config.Config {
-	out := make(map[string]config.Config, len(in)*4)
-	for _, c := range in {
-		growInto(c, out)
-	}
-	return out
-}
-
-// growInto appends all one-node extensions of c into dst keyed canonically.
-func growInto(c config.Config, dst map[string]config.Config) {
-	set := c.Set()
-	seen := map[grid.Coord]bool{}
-	for _, v := range c.Nodes() {
-		for _, nb := range v.Neighbors() {
-			if set[nb] || seen[nb] {
-				continue
-			}
-			seen[nb] = true
-			ext := config.New(append(c.Nodes(), nb)...).Normalize()
-			dst[ext.Key()] = ext
-		}
-	}
-}
-
-func growAllParallel(in map[string]config.Config, workers int) map[string]config.Config {
-	if len(in) < 64 || workers == 1 {
-		return growAll(in)
-	}
-	jobs := make(chan config.Config, workers)
-	partial := make([]map[string]config.Config, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			local := make(map[string]config.Config)
-			for c := range jobs {
-				growInto(c, local)
-			}
-			partial[w] = local
-		}(w)
-	}
-	for _, c := range in {
-		jobs <- c
-	}
-	close(jobs)
-	wg.Wait()
-	out := make(map[string]config.Config, len(in)*4)
-	for _, m := range partial {
-		for k, v := range m {
-			out[k] = v
-		}
-	}
-	return out
-}
-
-func sortedValues(m map[string]config.Config) []config.Config {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]config.Config, len(keys))
-	for i, k := range keys {
-		out[i] = m[k]
-	}
-	return out
+	return current.sorted()
 }
 
 // Count returns the number of connected n-node patterns without retaining
 // them all; it still enumerates (no closed form is known) but avoids the
 // final sort.
 func Count(n int) int {
-	if n <= 0 {
-		if n < 0 {
-			panic("enumerate: negative size")
-		}
+	if n == 0 {
 		return 0
 	}
-	current := map[string]config.Config{
-		config.New(grid.Origin).Key(): config.New(grid.Origin),
+	return connectedMap(n).len()
+}
+
+// connectedMap grows the connected patterns of size n serially; both
+// Connected and Count (and the parallel fallback, via growAll) run on
+// this one loop.
+func connectedMap(n int) *patternMap {
+	if n < 0 {
+		panic("enumerate: negative size")
 	}
+	current := seedPatterns()
+	var scr growScratch
 	for size := 1; size < n; size++ {
-		current = growAll(current)
+		current = growAll(current, &scr)
 	}
-	return len(current)
+	return current
+}
+
+// growAll extends every pattern in the map by one node.
+func growAll(in *patternMap, scr *growScratch) *patternMap {
+	out := newPatternMap(in.len() * 4)
+	in.each(func(c config.Config) { growInto(c, out, scr) })
+	return out
+}
+
+// patternMap holds normalized configurations deduplicated by pattern,
+// keyed compactly (config.Key64Nodes) with a string-keyed overflow for
+// patterns outside the exact encoding. Exactness is a property of the
+// pattern itself, so a pattern always lands in the same map.
+type patternMap struct {
+	exact map[uint64]config.Config
+	slow  map[string]config.Config
+}
+
+func newPatternMap(capHint int) *patternMap {
+	return &patternMap{exact: make(map[uint64]config.Config, capHint)}
+}
+
+// seedPatterns is the single-node starting point of every growth loop.
+func seedPatterns() *patternMap {
+	m := newPatternMap(1)
+	one := config.New(grid.Origin)
+	k, _ := one.Key64()
+	m.exact[k] = one
+	return m
+}
+
+func (m *patternMap) len() int { return len(m.exact) + len(m.slow) }
+
+func (m *patternMap) each(f func(config.Config)) {
+	for _, c := range m.exact {
+		f(c)
+	}
+	for _, c := range m.slow {
+		f(c)
+	}
+}
+
+// sorted returns the patterns ordered by config.Compare.
+func (m *patternMap) sorted() []config.Config {
+	out := make([]config.Config, 0, m.len())
+	m.each(func(c config.Config) { out = append(out, c) })
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// growScratch holds the per-goroutine buffers of the growth step.
+type growScratch struct {
+	base   []grid.Coord // parent pattern's nodes
+	merged []grid.Coord // parent nodes with the candidate inserted, sorted
+}
+
+// growInto inserts all one-node extensions of c into dst. Candidates are
+// keyed from the scratch buffer first; only a pattern not seen before is
+// materialized as a Config.
+func growInto(c config.Config, dst *patternMap, scr *growScratch) {
+	scr.base = c.AppendNodes(scr.base[:0])
+	for _, v := range scr.base {
+		for _, nb := range v.Neighbors() {
+			if containsCoord(scr.base, nb) {
+				continue
+			}
+			scr.merged = mergeInsert(scr.merged[:0], scr.base, nb)
+			dst.addMerged(scr.merged)
+		}
+	}
+}
+
+// addMerged records the pattern of a sorted candidate node list if new.
+func (m *patternMap) addMerged(merged []grid.Coord) {
+	if k, ok := config.Key64Nodes(merged); ok {
+		if _, dup := m.exact[k]; !dup {
+			m.exact[k] = config.New(merged...).Normalize()
+		}
+		return
+	}
+	ext := config.New(merged...).Normalize()
+	sk := ext.Key()
+	if _, dup := m.slow[sk]; !dup {
+		if m.slow == nil {
+			m.slow = make(map[string]config.Config)
+		}
+		m.slow[sk] = ext
+	}
+}
+
+// containsCoord reports membership in a small node list (linear scan —
+// parents have at most a handful of nodes).
+func containsCoord(nodes []grid.Coord, v grid.Coord) bool {
+	for _, w := range nodes {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeInsert appends sorted∪{v} to dst in sorted order; v must not be
+// in sorted.
+func mergeInsert(dst, sorted []grid.Coord, v grid.Coord) []grid.Coord {
+	inserted := false
+	for _, w := range sorted {
+		if !inserted && (v.Q < w.Q || (v.Q == w.Q && v.R < w.R)) {
+			dst = append(dst, v)
+			inserted = true
+		}
+		dst = append(dst, w)
+	}
+	if !inserted {
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+func growAllParallel(in *patternMap, workers int) *patternMap {
+	if in.len() < 64 || workers == 1 {
+		var scr growScratch
+		return growAll(in, &scr)
+	}
+	jobs := make(chan config.Config, workers)
+	partial := make([]*patternMap, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := newPatternMap(0)
+			var scr growScratch
+			for c := range jobs {
+				growInto(c, local, &scr)
+			}
+			partial[w] = local
+		}(w)
+	}
+	in.each(func(c config.Config) { jobs <- c })
+	close(jobs)
+	wg.Wait()
+	out := newPatternMap(in.len() * 4)
+	for _, p := range partial {
+		for k, v := range p.exact {
+			out.exact[k] = v
+		}
+		for k, v := range p.slow {
+			if out.slow == nil {
+				out.slow = make(map[string]config.Config, len(p.slow))
+			}
+			out.slow[k] = v
+		}
+	}
+	return out
 }

@@ -18,32 +18,27 @@ func ConnectedWithin(n, visRange int) []config.Config {
 	if n == 0 {
 		return nil
 	}
-	current := map[string]config.Config{
-		config.New(grid.Origin).Key(): config.New(grid.Origin),
-	}
+	current := seedPatterns()
+	var scr growScratch
 	for size := 1; size < n; size++ {
-		next := make(map[string]config.Config, len(current)*6)
-		for _, c := range current {
-			growWithinInto(c, visRange, next)
-		}
+		next := newPatternMap(current.len() * 6)
+		current.each(func(c config.Config) { growWithinInto(c, visRange, next, &scr) })
 		current = next
 	}
-	return sortedValues(current)
+	return current.sorted()
 }
 
 // growWithinInto extends c by one node within visRange of an existing
-// node, keyed canonically into dst.
-func growWithinInto(c config.Config, visRange int, dst map[string]config.Config) {
-	set := c.Set()
-	seen := map[grid.Coord]bool{}
-	for _, v := range c.Nodes() {
+// node, deduplicating by compact key into dst.
+func growWithinInto(c config.Config, visRange int, dst *patternMap, scr *growScratch) {
+	scr.base = c.AppendNodes(scr.base[:0])
+	for _, v := range scr.base {
 		for _, nb := range v.Disk(visRange) {
-			if set[nb] || seen[nb] {
+			if containsCoord(scr.base, nb) {
 				continue
 			}
-			seen[nb] = true
-			ext := config.New(append(c.Nodes(), nb)...).Normalize()
-			dst[ext.Key()] = ext
+			scr.merged = mergeInsert(scr.merged[:0], scr.base, nb)
+			dst.addMerged(scr.merged)
 		}
 	}
 }

@@ -27,6 +27,16 @@ type Options struct {
 	Workers int
 	// MaxRounds bounds each run (default sim.DefaultMaxRounds).
 	MaxRounds int
+	// Cache, when non-nil, wraps the algorithm so its Compute decisions
+	// are memoized in this shared view→move cache (core.Memoize). The
+	// 3652 runs of a sweep revisit a small set of distinct views, and a
+	// cache handed to several Verify calls (an ablation series, repeated
+	// benchmark iterations, the cmd/verify CLI) stays warm across them;
+	// the cache keys tables per algorithm name, so mixing algorithms is
+	// safe. Algorithms that already carry their own memo (core.Gatherer
+	// and the baselines) are fast without it; the handle exists to share
+	// caching explicitly across sweeps and algorithms that lack one.
+	Cache *core.Memo
 }
 
 // CaseResult records one initial configuration's outcome.
@@ -68,6 +78,9 @@ func Verify(alg core.Algorithm, opts Options) *Report {
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Cache != nil {
+		alg = core.Memoize(alg, opts.Cache)
 	}
 	initials := enumerate.Connected(opts.Robots)
 	report := &Report{

@@ -53,14 +53,29 @@ func (RoundRobin) Select(n, round int) []int { return []int{round % n} }
 
 // RandomSubset activates a uniformly random non-empty subset each round —
 // a probabilistic SSYNC adversary. The zero value panics; build with
-// NewRandomSubset to fix the seed.
+// NewRandomSubsetFrom (or the seed convenience NewRandomSubset). The
+// scheduler owns no hidden global state: every draw comes from the
+// *rand.Rand it was built with, so runs are reproducible and concurrent
+// sweeps stay independent by giving each its own source. A *rand.Rand is
+// not safe for concurrent use — do not share one across parallel runs.
 type RandomSubset struct {
 	rng *rand.Rand
 }
 
-// NewRandomSubset returns an SSYNC scheduler with the given seed.
+// NewRandomSubsetFrom returns an SSYNC scheduler drawing from the given
+// seeded source. It panics on a nil source rather than falling back to
+// the global one — reproducibility is the point.
+func NewRandomSubsetFrom(rng *rand.Rand) *RandomSubset {
+	if rng == nil {
+		panic("sched: nil *rand.Rand; seed one with rand.New(rand.NewSource(seed))")
+	}
+	return &RandomSubset{rng: rng}
+}
+
+// NewRandomSubset returns an SSYNC scheduler with a fresh source seeded
+// with the given value.
 func NewRandomSubset(seed int64) *RandomSubset {
-	return &RandomSubset{rng: rand.New(rand.NewSource(seed))}
+	return NewRandomSubsetFrom(rand.New(rand.NewSource(seed)))
 }
 
 // Name implements Scheduler.
@@ -85,39 +100,63 @@ func (s *RandomSubset) Select(n, _ int) []int {
 // activated in a round keep their positions (they are not even activated
 // for a Look). The outcome semantics match sim.Run; with the FSYNC
 // scheduler the two are identical.
+//
+// Like sim.Run, the loop rides the packed engine where it can: views go
+// through core.PackedAlgorithm's memoized fast path when the algorithm
+// provides one, scratch buffers are reused across rounds, and cycle
+// detection keys patterns with config.PatternSet instead of strings.
 func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Options) sim.Result {
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = sim.DefaultMaxRounds
+	}
+	visRange := alg.VisibilityRange()
+	packed, packable := alg.(core.PackedAlgorithm)
+	if packable && visRange > vision.MaxPackedRange {
+		packable = false
+	}
+	goal := opts.Goal
+	if goal == nil {
+		goal = config.Config.Gathered
 	}
 	cur := initial
 	res := sim.Result{Final: cur}
 	if opts.RecordTrace {
 		res.Trace = append(res.Trace, cur)
 	}
-	var seen map[string]bool
+	var seen config.PatternSet
 	if opts.DetectCycles {
-		seen = map[string]bool{cur.Key(): true}
+		seen.Add(cur)
 	}
+	n := initial.Len()
+	robots := make([]grid.Coord, 0, n)
+	targets := make([]grid.Coord, n)
+	moving := make([]bool, n)
 	idle := 0 // consecutive rounds with no movement
 	for round := 0; round < maxRounds; round++ {
-		robots := cur.Nodes()
+		robots = cur.AppendNodes(robots[:0])
 		active := s.Select(len(robots), round)
-		targets := make([]grid.Coord, len(robots))
-		moving := make([]bool, len(robots))
+		targets, moving = targets[:len(robots)], moving[:len(robots)]
 		moved := 0
 		for i, p := range robots {
 			targets[i] = p
+			moving[i] = false
 		}
 		for _, i := range active {
-			m := alg.Compute(vision.Look(cur, robots[i], alg.VisibilityRange()))
+			var m core.Move
+			if packable {
+				pv, _ := vision.LookPackedSorted(robots, robots[i], visRange)
+				m = packed.ComputePacked(pv)
+			} else {
+				m = alg.Compute(vision.Look(cur, robots[i], visRange))
+			}
 			if m.IsMove() {
 				targets[i] = m.Apply(robots[i])
 				moving[i] = true
 				moved++
 			}
 		}
-		if coll := sim.DetectCollision(robots, targets, moving); coll != nil {
+		if coll := sim.DetectCollisionSorted(robots, targets, moving); coll != nil {
 			res.Status = sim.Collision
 			res.Collision = coll
 			res.Final = cur
@@ -128,8 +167,8 @@ func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Option
 			// a different activation set may still move. Only a full
 			// activation (or a long idle streak under FSYNC-equivalent
 			// semantics) decides.
-			if len(active) == len(robots) {
-				if cur.Gathered() {
+			if len(active) == len(robots) || idle >= 4*len(robots) {
+				if goal(cur) {
 					res.Status = sim.Gathered
 				} else {
 					res.Status = sim.Stalled
@@ -138,15 +177,6 @@ func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Option
 				return res
 			}
 			idle++
-			if idle > 4*len(robots) {
-				if cur.Gathered() {
-					res.Status = sim.Gathered
-				} else {
-					res.Status = sim.Stalled
-				}
-				res.Final = cur
-				return res
-			}
 			continue
 		}
 		idle = 0
@@ -161,13 +191,9 @@ func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Option
 			res.Status = sim.Disconnected
 			return res
 		}
-		if opts.DetectCycles && len(active) == len(robots) {
-			k := cur.Key()
-			if seen[k] {
-				res.Status = sim.Livelock
-				return res
-			}
-			seen[k] = true
+		if opts.DetectCycles && len(active) == len(robots) && !seen.Add(cur) {
+			res.Status = sim.Livelock
+			return res
 		}
 	}
 	res.Status = sim.RoundLimit

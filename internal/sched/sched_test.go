@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/config"
@@ -49,6 +50,28 @@ func TestRandomSubsetNonEmptyAndSeeded(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestNewRandomSubsetFromExplicitSource(t *testing.T) {
+	a := NewRandomSubsetFrom(rand.New(rand.NewSource(42)))
+	b := NewRandomSubset(42)
+	for round := 0; round < 50; round++ {
+		sa, sb := a.Select(7, round), b.Select(7, round)
+		if len(sa) != len(sb) {
+			t.Fatal("explicit source diverged from seed convenience")
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatal("explicit source diverged from seed convenience")
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil source accepted")
+		}
+	}()
+	NewRandomSubsetFrom(nil)
 }
 
 func TestRunFSYNCMatchesSim(t *testing.T) {

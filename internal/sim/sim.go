@@ -133,7 +133,20 @@ const DefaultMaxRounds = 10000
 
 // Run executes alg from the initial configuration under FSYNC until the
 // system gathers, fails, or exhausts the round budget.
+//
+// Algorithms that implement core.PackedAlgorithm at a packable range run
+// on the allocation-free fast path (see packed.go); results are
+// identical either way.
 func Run(alg core.Algorithm, initial config.Config, opts Options) Result {
+	if pa, ok := alg.(core.PackedAlgorithm); ok && alg.VisibilityRange() <= vision.MaxPackedRange {
+		return runPacked(pa, initial, opts)
+	}
+	return runLegacy(alg, initial, opts)
+}
+
+// runLegacy is the map-based reference loop; the packed path must match
+// it result-for-result.
+func runLegacy(alg core.Algorithm, initial config.Config, opts Options) Result {
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds
