@@ -11,6 +11,7 @@
 //	E7 BenchmarkE7_RoundsByDiameter      — rounds vs initial diameter
 //	E8 BenchmarkE8_Schedulers            — the non-FSYNC extension
 //	E9 BenchmarkE9_RelaxedConnectivity   — relaxed initial connectivity
+//	E11 BenchmarkE11_N8Sweep             — the n = 8 open-problem map
 //
 // Run all of them with: go test -bench=. -benchmem .
 package repro
@@ -191,6 +192,32 @@ func BenchmarkE8_Schedulers(b *testing.B) {
 		}
 		b.ReportMetric(float64(gathered), "gathered")
 		b.ReportMetric(float64(2*len(sample)), "sample")
+	}
+}
+
+// BenchmarkE11_N8Sweep maps the paper's first open problem (§V,
+// "different numbers of robots") empirically: the seven-robot algorithm
+// on every connected 8-robot pattern — all 16689 of them, enumerated
+// and cycle-checked on exact two-tier keys (config.Key128 past the
+// 64-bit envelope) — under FSYNC, against the generalized
+// minimum-diameter gathering goal (config.GoalFor(8): diameter 3).
+// The gathered/stalled/livelock/collision breakdown is the result: the
+// first quantitative map of how far the n = 7 construction carries.
+func BenchmarkE11_N8Sweep(b *testing.B) {
+	cache := core.NewMemo()
+	for i := 0; i < b.N; i++ {
+		rep := exhaustive.Verify(core.Gatherer{}, exhaustive.Options{Robots: 8, Cache: cache})
+		if rep.Total != enumerate.KnownCounts[8] {
+			b.Fatalf("enumerated %d patterns, want %d", rep.Total, enumerate.KnownCounts[8])
+		}
+		if rep.ByStatus[sim.RoundLimit] != 0 {
+			b.Fatalf("%d runs hit the round limit; breakdown is not exhaustive", rep.ByStatus[sim.RoundLimit])
+		}
+		b.ReportMetric(float64(rep.Gathered()), "gathered")
+		b.ReportMetric(float64(rep.ByStatus[sim.Stalled]), "stalled")
+		b.ReportMetric(float64(rep.ByStatus[sim.Livelock]), "livelock")
+		b.ReportMetric(float64(rep.ByStatus[sim.Collision]), "collisions")
+		b.ReportMetric(float64(rep.ByStatus[sim.Disconnected]), "disconnected")
 	}
 }
 

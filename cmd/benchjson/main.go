@@ -1,0 +1,235 @@
+// Command benchjson converts `go test -bench` output into the
+// BENCH_<sha>.json trajectory format and gates benchmark regressions
+// against a committed baseline.
+//
+// The CI bench job pipes the full E1–E11 battery (run with
+// `-benchtime=1x -benchmem`) through it twice: once with -out to
+// produce the per-commit JSON artifact, once with -baseline/-gate to
+// fail the job when a gated benchmark's ns/op regressed beyond its
+// allowance versus bench/baseline.json. Refreshing the baseline is a
+// one-liner on the reference machine:
+//
+//	go test -run=NONE -bench=. -benchtime=1x -benchmem . | benchjson -out bench/baseline.json
+//
+// Usage:
+//
+//	benchjson [-in bench.txt] [-commit sha] [-out BENCH_sha.json]
+//	          [-baseline bench/baseline.json]
+//	          [-gate "BenchmarkE2:30,BenchmarkE3:30"]
+//
+// With no -in, input is read from stdin; -out and -baseline/-gate may
+// be combined in one invocation. Gate entries are name-prefix:percent
+// pairs; a prefix matching no benchmark on either side is reported and
+// skipped (a fresh baseline must not wedge CI), an ambiguous prefix is
+// an error, and absolute times are compared — the gate therefore
+// assumes current run and baseline come from comparable machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped,
+	// e.g. "BenchmarkE2_Theorem2Exhaustive".
+	Name string `json:"name"`
+	// Iterations is b.N for the run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline wall time per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other reported unit (B/op, allocs/op, and the
+	// experiment's own b.ReportMetric counters such as "gathered").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_<sha>.json schema.
+type File struct {
+	Commit     string      `json:"commit,omitempty"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches "BenchmarkName-8   123   456.7 ns/op   ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(r io.Reader, commit string) (*File, error) {
+	f := &File{Commit: commit}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			f.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			f.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			f.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %v", line, err)
+		}
+		b := Benchmark{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("odd value/unit fields in %q", line)
+		}
+		for i := 0; i < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q: %v", fields[i], line, err)
+			}
+			if unit := fields[i+1]; unit == "ns/op" {
+				b.NsPerOp = val
+			} else {
+				b.Metrics[unit] = val
+			}
+		}
+		f.Benchmarks = append(f.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return f, nil
+}
+
+// find returns the unique benchmark whose name starts with prefix.
+func find(f *File, prefix string) (*Benchmark, error) {
+	var hit *Benchmark
+	for i := range f.Benchmarks {
+		if strings.HasPrefix(f.Benchmarks[i].Name, prefix) {
+			if hit != nil {
+				return nil, fmt.Errorf("prefix %q is ambiguous (%s, %s)", prefix, hit.Name, f.Benchmarks[i].Name)
+			}
+			hit = &f.Benchmarks[i]
+		}
+	}
+	return hit, nil
+}
+
+// gate compares gated benchmarks between cur and base; it returns an
+// error describing every benchmark past its allowance.
+func gate(cur, base *File, spec string) error {
+	var failures []string
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		prefix, pctStr, ok := strings.Cut(entry, ":")
+		if !ok {
+			return fmt.Errorf("gate entry %q is not prefix:percent", entry)
+		}
+		pct, err := strconv.ParseFloat(pctStr, 64)
+		if err != nil {
+			return fmt.Errorf("gate entry %q: bad percent: %v", entry, err)
+		}
+		c, err := find(cur, prefix)
+		if err != nil {
+			return err
+		}
+		b, err := find(base, prefix)
+		if err != nil {
+			return err
+		}
+		if c == nil || b == nil {
+			fmt.Fprintf(os.Stderr, "benchjson: gate %q: benchmark missing (current=%v baseline=%v), skipping\n",
+				prefix, c != nil, b != nil)
+			continue
+		}
+		limit := b.NsPerOp * (1 + pct/100)
+		verdict := "ok"
+		if c.NsPerOp > limit {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, allowed +%.0f%%)",
+				c.Name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), pct))
+		}
+		fmt.Printf("gate %-40s %12.0f ns/op  baseline %12.0f  (%+.1f%%, allowed +%.0f%%)  %s\n",
+			c.Name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), pct, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark output file (default stdin)")
+	out := flag.String("out", "", "write parsed results as JSON to this file")
+	commit := flag.String("commit", "", "commit SHA recorded in the JSON")
+	baseline := flag.String("baseline", "", "baseline JSON to gate against")
+	gateSpec := flag.String("gate", "", "comma-separated name-prefix:max-regress-percent entries")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		file, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		defer file.Close()
+		r = file
+	}
+	cur, err := parse(r, *commit)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(cur.Benchmarks))
+	}
+
+	if *gateSpec != "" {
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -gate requires -baseline")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		var base File
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad baseline %s: %v\n", *baseline, err)
+			os.Exit(2)
+		}
+		if err := gate(cur, &base, *gateSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkE2_Theorem2Exhaustive       	       1	  59759172 ns/op	      3652 gathered	        15.00 max-rounds	 8975456 B/op	  158740 allocs/op
+BenchmarkE3_Enumerate                	       1	   3379673 ns/op	 2325328 B/op	   30619 allocs/op
+PASS
+ok  	repro	4.575s
+`
+
+func parseSample(t *testing.T, s string) *File {
+	t.Helper()
+	f, err := parse(strings.NewReader(s), "abc123")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	f := parseSample(t, sample)
+	if f.Goos != "linux" || f.Goarch != "amd64" || !strings.Contains(f.CPU, "Xeon") {
+		t.Errorf("header not captured: %+v", f)
+	}
+	if f.Commit != "abc123" {
+		t.Errorf("commit = %q", f.Commit)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(f.Benchmarks))
+	}
+	e2 := f.Benchmarks[0]
+	if e2.Name != "BenchmarkE2_Theorem2Exhaustive" || e2.Iterations != 1 || e2.NsPerOp != 59759172 {
+		t.Errorf("E2 parsed wrong: %+v", e2)
+	}
+	if e2.Metrics["gathered"] != 3652 || e2.Metrics["allocs/op"] != 158740 {
+		t.Errorf("E2 metrics parsed wrong: %v", e2.Metrics)
+	}
+}
+
+func TestParseStripsProcsSuffix(t *testing.T) {
+	f := parseSample(t, "BenchmarkX-16   2   100 ns/op\n")
+	if f.Benchmarks[0].Name != "BenchmarkX" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", f.Benchmarks[0].Name)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := parseSample(t, sample)
+	// Within allowance: +20% on E2.
+	cur := parseSample(t, strings.Replace(sample, "59759172 ns/op", "71711006 ns/op", 1))
+	if err := gate(cur, base, "BenchmarkE2_Theorem2Exhaustive:30,BenchmarkE3_Enumerate:30"); err != nil {
+		t.Errorf("+20%% within a 30%% allowance failed the gate: %v", err)
+	}
+	// Past allowance: +50% on E2.
+	cur = parseSample(t, strings.Replace(sample, "59759172 ns/op", "89638758 ns/op", 1))
+	err := gate(cur, base, "BenchmarkE2_Theorem2Exhaustive:30,BenchmarkE3_Enumerate:30")
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkE2_Theorem2Exhaustive") {
+		t.Errorf("+50%% regression passed a 30%% gate: %v", err)
+	}
+	// A prefix with no match on either side is skipped, not fatal.
+	if err := gate(cur, base, "BenchmarkE99_Nothing:30"); err != nil {
+		t.Errorf("missing benchmark wedged the gate: %v", err)
+	}
+	// Ambiguous prefixes are errors.
+	if err := gate(cur, base, "BenchmarkE:30"); err == nil {
+		t.Error("ambiguous prefix accepted")
+	}
+}

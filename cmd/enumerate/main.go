@@ -1,6 +1,9 @@
 // Command enumerate counts the connected configurations of n robots on
 // the triangular grid up to translation (fixed polyhexes) and prints the
-// table the paper's "3652 patterns" figure comes from.
+// table the paper's "3652 patterns" figure comes from. Known reference
+// counts (checked with a ✓) extend through n = 10; sizes through n = 14
+// enumerate on exact two-tier compact keys (config.Key64/Key128), so
+// the n = 8 extension space of E11 never touches string keys.
 //
 // Usage:
 //

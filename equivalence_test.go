@@ -100,11 +100,18 @@ func legacyConnected(n int) map[string]config.Config {
 	return current
 }
 
-// TestKey64DedupMatchesStringDedup checks that the compact-key
-// enumeration produces exactly the same pattern set as string-key dedup
-// for every size through the paper's n=7 (the 3652 patterns).
-func TestKey64DedupMatchesStringDedup(t *testing.T) {
-	for n := 1; n <= 7; n++ {
+// TestCompactDedupMatchesStringDedup checks that the two-tier
+// compact-key enumeration produces exactly the same pattern set as
+// string-key dedup for every size through n=8: sizes 1..7 exercise the
+// Key64 tier (the paper's 3652 patterns, byte-identical under the
+// two-tier path), and n=8 — past the 64-bit envelope — exercises the
+// Key128 tier over the full 16689-pattern E11 space.
+func TestCompactDedupMatchesStringDedup(t *testing.T) {
+	top := 8
+	if testing.Short() {
+		top = 7
+	}
+	for n := 1; n <= top; n++ {
 		want := legacyConnected(n)
 		got := enumerate.Connected(n)
 		if len(got) != len(want) {
@@ -148,6 +155,26 @@ func TestPackedSweepReportMatchesLegacy(t *testing.T) {
 		if !p.Initial.Equal(l.Initial) || p.Status != l.Status || p.Rounds != l.Rounds || p.Moves != l.Moves {
 			t.Fatalf("case %d diverges: packed %v/%d/%d legacy %v/%d/%d on %s",
 				i, p.Status, p.Rounds, p.Moves, l.Status, l.Rounds, l.Moves, p.Initial.Key())
+		}
+	}
+}
+
+// TestPackedRunMatchesLegacyOnEight extends the packed/legacy
+// equivalence past the paper's size: on a sample of the 16689-pattern
+// n=8 space (experiment E11), with the generalized minimum-diameter
+// goal defaulting in, both paths must agree case for case — including
+// the failure statuses the seven-robot algorithm produces out of its
+// depth.
+func TestPackedRunMatchesLegacyOnEight(t *testing.T) {
+	initials := enumerate.Connected(8)
+	opts := sim.Options{DetectCycles: true, StopOnDisconnect: true}
+	for i := 0; i < len(initials); i += 167 { // ~100 sampled cases
+		c := initials[i]
+		p := sim.Run(core.Gatherer{}, c, opts)
+		l := sim.Run(legacyOnly{core.Gatherer{}}, c, opts)
+		if p.Status != l.Status || p.Rounds != l.Rounds || p.Moves != l.Moves || !p.Final.Equal(l.Final) {
+			t.Fatalf("n=8 %s: packed %v/%d/%d legacy %v/%d/%d",
+				c.Key(), p.Status, p.Rounds, p.Moves, l.Status, l.Rounds, l.Moves)
 		}
 	}
 }

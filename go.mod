@@ -1,3 +1,4 @@
 module repro
 
-go 1.24
+// 1.23 is the oldest toolchain in the CI matrix (1.23/1.24).
+go 1.23

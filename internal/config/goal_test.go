@@ -1,0 +1,78 @@
+package config
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestMaxNodesAtDiameter(t *testing.T) {
+	// 1 node at a point, 3 in a triangle, 7 in the hexagon ball, 12 in
+	// the triangle ball, 19 in the radius-2 ball, 27 in the radius-2
+	// triangle ball.
+	want := []int{1, 3, 7, 12, 19, 27, 37}
+	for d, w := range want {
+		if got := MaxNodesAtDiameter(d); got != w {
+			t.Errorf("MaxNodesAtDiameter(%d) = %d, want %d", d, got, w)
+		}
+	}
+	if MaxNodesAtDiameter(-1) != 0 {
+		t.Error("negative diameter must hold no nodes")
+	}
+}
+
+func TestMinDiameter(t *testing.T) {
+	want := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 12: 3, 13: 4, 19: 4, 20: 5}
+	for n, w := range want {
+		if got := MinDiameter(n); got != w {
+			t.Errorf("MinDiameter(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+// TestGatheredForSevenMatchesGathered pins that the generalized
+// predicate at n = 7 is the paper's hexagon predicate — the gathered
+// hexagon is the unique minimum-diameter 7-node pattern, so the two
+// must agree on every 7-node configuration, and GoalFor(7) returns the
+// original function itself.
+func TestGatheredForSevenMatchesGathered(t *testing.T) {
+	cases := []Config{
+		Hexagon(grid.Origin),
+		Line(grid.Origin, grid.E, 7),
+		MustFromASCII("o o\n o o\n  o o\n   o"),
+	}
+	for _, c := range cases {
+		if c.GatheredFor(7) != c.Gathered() {
+			t.Errorf("GatheredFor(7) disagrees with Gathered on %s", c.Key())
+		}
+		if GoalFor(7)(c) != c.Gathered() {
+			t.Errorf("GoalFor(7) disagrees with Gathered on %s", c.Key())
+		}
+	}
+}
+
+func TestGatheredForSmallCounts(t *testing.T) {
+	one := New(grid.Origin)
+	if !one.GatheredFor(1) {
+		t.Error("single robot not gathered")
+	}
+	pair := Line(grid.Origin, grid.E, 2)
+	if !pair.GatheredFor(2) {
+		t.Error("adjacent pair not gathered (diameter 1)")
+	}
+	apart := New(grid.Origin, grid.Coord{Q: 2, R: 0})
+	if apart.GatheredFor(2) {
+		t.Error("distance-2 pair claimed gathered")
+	}
+	triangle := New(grid.Origin, grid.Coord{Q: 1, R: 0}, grid.Coord{Q: 0, R: 1})
+	if !triangle.GatheredFor(3) {
+		t.Error("triangle not gathered")
+	}
+	if Line(grid.Origin, grid.E, 3).GatheredFor(3) {
+		t.Error("3-line claimed gathered")
+	}
+	// Wrong robot count never gathers, whatever the shape.
+	if triangle.GatheredFor(4) || one.GatheredFor(0) {
+		t.Error("count mismatch claimed gathered")
+	}
+}

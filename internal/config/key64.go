@@ -6,9 +6,10 @@ import "repro/internal/grid"
 // Config.Key builds a string per call, which made enumeration dedup and
 // cycle detection allocation-bound; Key64 packs the same
 // translation-invariant information into one integer for every pattern
-// the paper's workloads produce (n ≤ 7 with bounded spread), and
-// PatternSet falls back to string keys for the rare pattern outside that
-// envelope, so compact keying never changes semantics.
+// the paper's workloads produce (n ≤ 7 with bounded spread); key128.go
+// widens the envelope to two words for the n ≥ 8 extension sweeps, and
+// PatternSet falls back to string keys for the rare pattern outside
+// both, so compact keying never changes semantics.
 
 // Key64 returns a compact translation-invariant key for the pattern,
 // equivalent to Key(): two configurations have equal exact keys iff they
@@ -53,12 +54,16 @@ func Key64Nodes(nodes []grid.Coord) (key uint64, exact bool) {
 }
 
 // PatternSet is a set of patterns (configurations up to translation)
-// keyed by Key64, with a string-keyed overflow for patterns outside the
-// exact encoding. Membership is always exact — there are no hash
-// collisions to check. The zero value is ready to use. It is not safe
-// for concurrent use.
+// keyed by the two-tier compact scheme: Key64 for patterns inside the
+// 64-bit envelope, Key128 for patterns inside the 128-bit one, and a
+// string-keyed overflow for the rest. A pattern's tier is a property of
+// the pattern itself (every Key64-exact pattern is checked first), so a
+// pattern always lands in the same map and membership is always exact —
+// there are no hash collisions to check. The zero value is ready to
+// use. It is not safe for concurrent use.
 type PatternSet struct {
 	exact map[uint64]struct{}
+	wide  map[Key128]struct{}
 	slow  map[string]struct{}
 }
 
@@ -80,6 +85,16 @@ func (s *PatternSet) AddNodes(nodes []grid.Coord) bool {
 		s.exact[k] = struct{}{}
 		return true
 	}
+	if k, ok := Key128Nodes(nodes); ok {
+		if _, dup := s.wide[k]; dup {
+			return false
+		}
+		if s.wide == nil {
+			s.wide = make(map[Key128]struct{})
+		}
+		s.wide[k] = struct{}{}
+		return true
+	}
 	k := New(nodes...).Key()
 	if _, dup := s.slow[k]; dup {
 		return false
@@ -92,7 +107,17 @@ func (s *PatternSet) AddNodes(nodes []grid.Coord) bool {
 }
 
 // Len returns the number of distinct patterns added.
-func (s *PatternSet) Len() int { return len(s.exact) + len(s.slow) }
+func (s *PatternSet) Len() int { return len(s.exact) + len(s.wide) + len(s.slow) }
+
+// Reset empties the set but keeps its maps (and their bucket storage)
+// allocated, so one set can be pooled across many runs: the simulator's
+// cycle detection grows a set per run, and exhaustive.Verify hands each
+// worker one reusable set instead (sim.Options.CycleSet).
+func (s *PatternSet) Reset() {
+	clear(s.exact)
+	clear(s.wide)
+	clear(s.slow)
+}
 
 // AppendNodes appends the robot nodes in sorted order to dst and returns
 // the extended slice. It is the allocation-free counterpart of Nodes for

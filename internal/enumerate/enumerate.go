@@ -10,12 +10,13 @@
 // share a global compass, so differently oriented patterns are genuinely
 // different inputs.
 //
-// Deduplication runs on the packed engine's compact pattern keys
-// (config.Key64Nodes): a candidate extension is keyed without
-// materializing it, so duplicate candidates — the vast majority at the
-// larger sizes — cost one integer map probe and no allocation. Patterns
-// outside the exact 64-bit encoding fall back to string keys with
-// identical semantics.
+// Deduplication runs on the packed engine's compact pattern keys: a
+// candidate extension is keyed without materializing it, so duplicate
+// candidates — the vast majority at the larger sizes — cost one integer
+// map probe and no allocation. The keys are two-tier
+// (config.Key64Nodes through n = 7, config.Key128Nodes through n = 14,
+// so the n = 8 extension space of E11 stays exact); patterns outside
+// both encodings fall back to string keys with identical semantics.
 package enumerate
 
 import (
@@ -28,8 +29,13 @@ import (
 )
 
 // KnownCounts lists the number of connected n-node patterns up to
-// translation for n = 0..7 (fixed polyhexes, OEIS A001207 shifted).
-var KnownCounts = [8]int{0: 1, 1: 1, 2: 3, 3: 11, 4: 44, 5: 186, 6: 814, 7: 3652}
+// translation for n = 0..10 (fixed polyhexes, OEIS A001207 shifted).
+// The paper's exhaustive space is the n = 7 entry; the n = 8 entry is
+// the E11 extension sweep's.
+var KnownCounts = [11]int{
+	0: 1, 1: 1, 2: 3, 3: 11, 4: 44, 5: 186, 6: 814, 7: 3652,
+	8: 16689, 9: 77359, 10: 362671,
+}
 
 // Connected returns all connected n-node configurations up to translation,
 // sorted by node list (config.Compare) so the output order is
@@ -95,11 +101,14 @@ func growAll(in *patternMap, scr *growScratch) *patternMap {
 }
 
 // patternMap holds normalized configurations deduplicated by pattern,
-// keyed compactly (config.Key64Nodes) with a string-keyed overflow for
-// patterns outside the exact encoding. Exactness is a property of the
-// pattern itself, so a pattern always lands in the same map.
+// keyed by the two-tier compact scheme (config.Key64Nodes, then
+// config.Key128Nodes past the 64-bit envelope) with a string-keyed
+// overflow for patterns outside both exact encodings. Exactness of each
+// tier is a property of the pattern itself, so a pattern always lands
+// in the same map.
 type patternMap struct {
 	exact map[uint64]config.Config
+	wide  map[config.Key128]config.Config
 	slow  map[string]config.Config
 }
 
@@ -116,10 +125,13 @@ func seedPatterns() *patternMap {
 	return m
 }
 
-func (m *patternMap) len() int { return len(m.exact) + len(m.slow) }
+func (m *patternMap) len() int { return len(m.exact) + len(m.wide) + len(m.slow) }
 
 func (m *patternMap) each(f func(config.Config)) {
 	for _, c := range m.exact {
+		f(c)
+	}
+	for _, c := range m.wide {
 		f(c)
 	}
 	for _, c := range m.slow {
@@ -162,6 +174,15 @@ func (m *patternMap) addMerged(merged []grid.Coord) {
 	if k, ok := config.Key64Nodes(merged); ok {
 		if _, dup := m.exact[k]; !dup {
 			m.exact[k] = config.New(merged...).Normalize()
+		}
+		return
+	}
+	if k, ok := config.Key128Nodes(merged); ok {
+		if _, dup := m.wide[k]; !dup {
+			if m.wide == nil {
+				m.wide = make(map[config.Key128]config.Config)
+			}
+			m.wide[k] = config.New(merged...).Normalize()
 		}
 		return
 	}
@@ -230,6 +251,12 @@ func growAllParallel(in *patternMap, workers int) *patternMap {
 	for _, p := range partial {
 		for k, v := range p.exact {
 			out.exact[k] = v
+		}
+		for k, v := range p.wide {
+			if out.wide == nil {
+				out.wide = make(map[config.Key128]config.Config, len(p.wide))
+			}
+			out.wide[k] = v
 		}
 		for k, v := range p.slow {
 			if out.slow == nil {

@@ -131,6 +131,49 @@ func TestSmallEnumerationsExplicit(t *testing.T) {
 	}
 }
 
+// TestEightCountAndExactKeys is the enumeration side of experiment E11:
+// the n = 8 space has 16689 patterns (fixed octahexes), every one of
+// them keyed exactly — Key128 at least, never the string fallback — and
+// with all 16689 Key128 values distinct.
+func TestEightCountAndExactKeys(t *testing.T) {
+	all := Connected(8)
+	if len(all) != KnownCounts[8] {
+		t.Fatalf("Connected(8) produced %d patterns, want %d", len(all), KnownCounts[8])
+	}
+	seen := make(map[config.Key128]bool, len(all))
+	for _, c := range all {
+		k, exact := c.Key128()
+		if !exact {
+			t.Fatalf("n=8 pattern outside the 128-bit envelope: %s", c.Key())
+		}
+		if seen[k] {
+			t.Fatalf("duplicate Key128 in n=8 enumeration: %s", c.Key())
+		}
+		seen[k] = true
+		if _, exact64 := c.Key64(); exact64 {
+			t.Fatalf("8-node pattern claimed Key64-exact: %s", c.Key())
+		}
+	}
+}
+
+// TestMinDiameterAchievedByEnumeration pins config.MinDiameter against
+// ground truth: for every size the smallest diameter over the full
+// connected enumeration must equal the closed-form minimum, so the
+// generalized gathering goal (config.GoalFor) is reachable at every n.
+func TestMinDiameterAchievedByEnumeration(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		min := -1
+		for _, c := range Connected(n) {
+			if d := c.Diameter(); min < 0 || d < min {
+				min = d
+			}
+		}
+		if want := config.MinDiameter(n); min != want {
+			t.Errorf("n=%d: enumeration min diameter %d, MinDiameter says %d", n, min, want)
+		}
+	}
+}
+
 func BenchmarkEnumerate6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if len(Connected(6)) != KnownCounts[6] {

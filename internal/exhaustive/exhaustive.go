@@ -37,6 +37,12 @@ type Options struct {
 	// and the baselines) are fast without it; the handle exists to share
 	// caching explicitly across sweeps and algorithms that lack one.
 	Cache *core.Memo
+	// Goal overrides the success predicate handed to every run. Nil
+	// selects config.GoalFor(Robots): the paper's hexagon for seven
+	// robots, the minimum-diameter predicate for every other count —
+	// which is what makes n ≠ 7 sweeps (E11's n = 8 map of the open
+	// problem) meaningful rather than trivially all-failing.
+	Goal func(config.Config) bool
 }
 
 // CaseResult records one initial configuration's outcome.
@@ -82,6 +88,10 @@ func Verify(alg core.Algorithm, opts Options) *Report {
 	if opts.Cache != nil {
 		alg = core.Memoize(alg, opts.Cache)
 	}
+	goal := opts.Goal
+	if goal == nil {
+		goal = config.GoalFor(opts.Robots)
+	}
 	initials := enumerate.Connected(opts.Robots)
 	report := &Report{
 		Algorithm: alg.Name(),
@@ -97,11 +107,17 @@ func Verify(alg core.Algorithm, opts Options) *Report {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One pooled cycle set per worker: the per-run cycle maps were
+			// the largest remaining per-run allocation of a sweep, and a
+			// worker's runs are sequential, so reuse is safe.
+			var cycles config.PatternSet
 			for i := range jobs {
 				res := sim.Run(alg, initials[i], sim.Options{
 					MaxRounds:        opts.MaxRounds,
 					DetectCycles:     true,
 					StopOnDisconnect: true,
+					Goal:             goal,
+					CycleSet:         &cycles,
 				})
 				report.Cases[i] = CaseResult{
 					Initial: initials[i],

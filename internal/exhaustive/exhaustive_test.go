@@ -169,3 +169,32 @@ func TestRelaxedConnectivityE9(t *testing.T) {
 		t.Error("expected failures on visibility-only-connected samples")
 	}
 }
+
+// TestVerifyOtherRobotCounts exercises the n ≠ 7 sweep path end to end:
+// the E10 algorithm gathers all 11 three-robot patterns under the
+// defaulted minimum-diameter goal, and the n = 8 space enumerates to
+// its known 16689 patterns with every run classified (no round-limit
+// escapes) — the E11 open-problem map in miniature.
+func TestVerifyOtherRobotCounts(t *testing.T) {
+	three := Verify(core.ThreeGatherer{}, Options{Robots: 3})
+	if three.Total != enumerate.KnownCounts[3] {
+		t.Fatalf("n=3: enumerated %d patterns, want %d", three.Total, enumerate.KnownCounts[3])
+	}
+	if !three.AllGathered() {
+		t.Fatalf("n=3: three-gatherer failed: %s", three)
+	}
+	if testing.Short() {
+		t.Skip("full 16689-pattern n=8 sweep in -short mode")
+	}
+	eight := Verify(core.Gatherer{}, Options{Robots: 8})
+	if eight.Total != enumerate.KnownCounts[8] {
+		t.Fatalf("n=8: enumerated %d patterns, want %d", eight.Total, enumerate.KnownCounts[8])
+	}
+	if eight.ByStatus[sim.RoundLimit] != 0 {
+		t.Fatalf("n=8: %d runs escaped classification: %s", eight.ByStatus[sim.RoundLimit], eight)
+	}
+	if eight.Gathered() == 0 {
+		t.Fatalf("n=8: expected some minimum-diameter outcomes: %s", eight)
+	}
+	t.Logf("n=8 map: %s", eight)
+}

@@ -117,15 +117,21 @@ func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Option
 	}
 	goal := opts.Goal
 	if goal == nil {
-		goal = config.Config.Gathered
+		goal = config.GoalFor(initial.Len())
 	}
 	cur := initial
 	res := sim.Result{Final: cur}
 	if opts.RecordTrace {
 		res.Trace = append(res.Trace, cur)
 	}
-	var seen config.PatternSet
+	var seen *config.PatternSet
 	if opts.DetectCycles {
+		if opts.CycleSet != nil {
+			seen = opts.CycleSet
+			seen.Reset()
+		} else {
+			seen = new(config.PatternSet)
+		}
 		seen.Add(cur)
 	}
 	n := initial.Len()

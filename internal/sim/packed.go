@@ -26,7 +26,7 @@ func runPacked(alg core.PackedAlgorithm, initial config.Config, opts Options) Re
 	}
 	goal := opts.Goal
 	if goal == nil {
-		goal = config.Config.Gathered
+		goal = config.GoalFor(initial.Len())
 	}
 	visRange := alg.VisibilityRange()
 	res := Result{Final: initial}
@@ -36,11 +36,17 @@ func runPacked(alg core.PackedAlgorithm, initial config.Config, opts Options) Re
 
 	n := initial.Len()
 	cur := initial.AppendNodes(make([]grid.Coord, 0, n))
-	next := make([]grid.Coord, 0, n)       // ping-pong buffer for the post-move set
-	targets := make([]grid.Coord, n)       // robot count never grows, so cap n suffices
+	next := make([]grid.Coord, 0, n) // ping-pong buffer for the post-move set
+	targets := make([]grid.Coord, n) // robot count never grows, so cap n suffices
 	moving := make([]bool, n)
-	var seen config.PatternSet
+	var seen *config.PatternSet
 	if opts.DetectCycles {
+		if opts.CycleSet != nil {
+			seen = opts.CycleSet
+			seen.Reset()
+		} else {
+			seen = new(config.PatternSet)
+		}
 		seen.AddNodes(cur)
 	}
 

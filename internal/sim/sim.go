@@ -120,10 +120,19 @@ type Options struct {
 	// baselines do, and the verifier wants that reported, not chased.
 	StopOnDisconnect bool
 	// Goal decides when an all-stay round counts as success. Nil selects
-	// the paper's seven-robot hexagon predicate (Config.Gathered); the
-	// different-robot-count extensions (E10) substitute their own
-	// minimum-diameter predicate.
+	// config.GoalFor over the initial robot count: the paper's hexagon
+	// predicate for seven robots, the generalized minimum-diameter
+	// predicate for every other n (the different-robot-count extensions
+	// E10 and E11). Explicit goals override, e.g. an experiment pinning
+	// a specific target shape.
 	Goal func(config.Config) bool
+	// CycleSet, when non-nil, is the pattern set the packed path uses
+	// for cycle detection; Run resets it before use, so one set can be
+	// pooled across many runs (exhaustive.Verify keeps one per worker —
+	// the cycle-set maps were the largest remaining per-run allocation).
+	// It is ignored when DetectCycles is false, and by the legacy
+	// reference path, which keeps its own string-keyed map.
+	CycleSet *config.PatternSet
 }
 
 // DefaultMaxRounds bounds runs when Options.MaxRounds is unset. Gathering
@@ -162,7 +171,7 @@ func runLegacy(alg core.Algorithm, initial config.Config, opts Options) Result {
 	}
 	goal := opts.Goal
 	if goal == nil {
-		goal = config.Config.Gathered
+		goal = config.GoalFor(initial.Len())
 	}
 	for round := 0; round < maxRounds; round++ {
 		next, moved, coll := Step(alg, cur)

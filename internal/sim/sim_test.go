@@ -197,3 +197,66 @@ func BenchmarkRunLine(b *testing.B) {
 		}
 	}
 }
+
+// TestDefaultGoalGeneralizes pins the nil-Goal default for n ≠ 7
+// (config.GoalFor): a run that stops at the minimum-diameter n-robot
+// configuration is gathered, one that stops short is stalled.
+func TestDefaultGoalGeneralizes(t *testing.T) {
+	// Three robots in a triangle: minimum diameter, so Idle is already
+	// gathered; a 3-line (diameter 2) is stalled.
+	triangle := config.New(grid.Origin, grid.Coord{Q: 1, R: 0}, grid.Coord{Q: 0, R: 1})
+	if res := Run(core.Idle{}, triangle, Options{}); res.Status != Gathered {
+		t.Errorf("idle triangle: %v, want gathered", res.Status)
+	}
+	if res := Run(core.Idle{}, config.Line(grid.Origin, grid.E, 3), Options{}); res.Status != Stalled {
+		t.Errorf("idle 3-line: %v, want stalled", res.Status)
+	}
+	// ThreeGatherer needs no explicit Goal any more: the default agrees
+	// with its triangle target.
+	if res := Run(core.ThreeGatherer{}, config.Line(grid.Origin, grid.E, 3), Options{DetectCycles: true}); res.Status != Gathered {
+		t.Errorf("three-gatherer 3-line: %v, want gathered", res.Status)
+	}
+	// A single robot is trivially gathered; an adjacent pair is the
+	// 2-robot minimum diameter.
+	if res := Run(core.Idle{}, config.New(grid.Origin), Options{}); res.Status != Gathered {
+		t.Errorf("idle singleton: %v, want gathered", res.Status)
+	}
+	if res := Run(core.Idle{}, config.Line(grid.Origin, grid.E, 2), Options{}); res.Status != Gathered {
+		t.Errorf("idle pair: %v, want gathered", res.Status)
+	}
+	// The paper's case is untouched: a stalled 7-robot non-hexagon stays
+	// stalled, a hexagon gathered.
+	if res := Run(core.Idle{}, config.Line(grid.Origin, grid.E, 7), Options{}); res.Status != Stalled {
+		t.Errorf("idle 7-line: %v, want stalled", res.Status)
+	}
+}
+
+// TestCycleSetPoolingMatchesFresh reruns a mix of gathering and failing
+// runs with one pooled CycleSet and compares against fresh per-run
+// sets: pooling must be invisible in every Result field, and the set
+// must be Reset between runs (a stale entry would fake a livelock).
+func TestCycleSetPoolingMatchesFresh(t *testing.T) {
+	cases := []struct {
+		alg core.Algorithm
+		c   config.Config
+	}{
+		{core.Gatherer{}, config.Line(grid.Origin, grid.E, 7)},
+		{core.Gatherer{}, config.MustFromASCII("o o\n o o\n  o o\n   o")},
+		{core.GreedyEast{}, config.Line(grid.Origin, grid.NE, 7)},
+		{core.Idle{}, config.Line(grid.Origin, grid.E, 5)},
+		{core.Gatherer{}, config.Line(grid.Origin, grid.E, 7)}, // repeat: pool must not remember run 0
+	}
+	var pool config.PatternSet
+	opts := Options{DetectCycles: true, StopOnDisconnect: true, MaxRounds: 500}
+	for i, tc := range cases {
+		fresh := Run(tc.alg, tc.c, opts)
+		pooledOpts := opts
+		pooledOpts.CycleSet = &pool
+		pooled := Run(tc.alg, tc.c, pooledOpts)
+		if fresh.Status != pooled.Status || fresh.Rounds != pooled.Rounds ||
+			fresh.Moves != pooled.Moves || !fresh.Final.Equal(pooled.Final) {
+			t.Fatalf("case %d: pooled %v/%d/%d diverged from fresh %v/%d/%d",
+				i, pooled.Status, pooled.Rounds, pooled.Moves, fresh.Status, fresh.Rounds, fresh.Moves)
+		}
+	}
+}
