@@ -12,11 +12,13 @@
 //	E8 BenchmarkE8_Schedulers            — the non-FSYNC extension
 //	E9 BenchmarkE9_RelaxedConnectivity   — relaxed initial connectivity
 //	E11 BenchmarkE11_N8Sweep             — the n = 8 open-problem map
+//	E12 BenchmarkE8_SSYNCSweep           — SSYNC robustness, all patterns
 //
 // Run all of them with: go test -bench=. -benchmem .
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -28,6 +30,7 @@ import (
 	"repro/internal/impossibility"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/vision"
 )
 
@@ -192,6 +195,34 @@ func BenchmarkE8_Schedulers(b *testing.B) {
 		}
 		b.ReportMetric(float64(gathered), "gathered")
 		b.ReportMetric(float64(2*len(sample)), "sample")
+	}
+}
+
+// BenchmarkE8_SSYNCSweep is the unified-sweep version of the SSYNC
+// robustness experiment (E12 in EXPERIMENTS.md): every one of the 3652
+// connected 7-robot patterns under 4 seeded random-subset activation
+// schedules, aggregated into a per-pattern robustness histogram. It
+// runs with KeepCases off, so -benchmem doubles as the constant-memory
+// check: allocations stay flat however many runs the sweep holds.
+func BenchmarkE8_SSYNCSweep(b *testing.B) {
+	cache := core.NewMemo()
+	for i := 0; i < b.N; i++ {
+		rep, err := sweep.Run(context.Background(), sweep.Spec{
+			Alg:       core.Gatherer{},
+			Scheduler: sweep.SSYNC,
+			Seeds:     sweep.SeedRange(1, 4),
+			MaxRounds: 5000,
+			Cache:     cache,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Patterns != enumerate.KnownCounts[7] {
+			b.Fatalf("swept %d patterns, want %d", rep.Patterns, enumerate.KnownCounts[7])
+		}
+		b.ReportMetric(float64(rep.Gathered()), "gathered")
+		b.ReportMetric(float64(rep.FullyRobust()), "fully-robust")
+		b.ReportMetric(float64(rep.Total), "runs")
 	}
 }
 

@@ -18,11 +18,16 @@
 //	          [-gate "BenchmarkE2:30,BenchmarkE3:30"]
 //
 // With no -in, input is read from stdin; -out and -baseline/-gate may
-// be combined in one invocation. Gate entries are name-prefix:percent
-// pairs; a prefix matching no benchmark on either side is reported and
-// skipped (a fresh baseline must not wedge CI), an ambiguous prefix is
-// an error, and absolute times are compared — the gate therefore
-// assumes current run and baseline come from comparable machines.
+// be combined in one invocation. Gate entries are
+// name-prefix:percent[:unit] triples; unit defaults to ns/op and may
+// name any reported metric ("allocs/op" gates allocation regressions,
+// which are machine-independent and therefore tighter signals than
+// wall time). A prefix matching no benchmark on either side — or a
+// unit missing from either run, e.g. a battery run without -benchmem —
+// is reported and skipped (a fresh baseline must not wedge CI), an
+// ambiguous prefix is an error, and absolute values are compared — the
+// ns/op gate therefore assumes current run and baseline come from
+// comparable machines.
 package main
 
 import (
@@ -129,8 +134,20 @@ func find(f *File, prefix string) (*Benchmark, error) {
 	return hit, nil
 }
 
+// value returns the benchmark's reading in the given unit: the
+// headline ns/op, or any other reported metric (allocs/op, B/op, the
+// experiment counters).
+func value(b *Benchmark, unit string) (float64, bool) {
+	if unit == "ns/op" {
+		return b.NsPerOp, true
+	}
+	v, ok := b.Metrics[unit]
+	return v, ok
+}
+
 // gate compares gated benchmarks between cur and base; it returns an
-// error describing every benchmark past its allowance.
+// error describing every benchmark past its allowance. Entries are
+// prefix:percent[:unit], unit defaulting to ns/op.
 func gate(cur, base *File, spec string) error {
 	var failures []string
 	for _, entry := range strings.Split(spec, ",") {
@@ -138,13 +155,18 @@ func gate(cur, base *File, spec string) error {
 		if entry == "" {
 			continue
 		}
-		prefix, pctStr, ok := strings.Cut(entry, ":")
-		if !ok {
-			return fmt.Errorf("gate entry %q is not prefix:percent", entry)
+		parts := strings.SplitN(entry, ":", 3)
+		if len(parts) < 2 {
+			return fmt.Errorf("gate entry %q is not prefix:percent[:unit]", entry)
 		}
-		pct, err := strconv.ParseFloat(pctStr, 64)
+		prefix := parts[0]
+		pct, err := strconv.ParseFloat(parts[1], 64)
 		if err != nil {
 			return fmt.Errorf("gate entry %q: bad percent: %v", entry, err)
+		}
+		unit := "ns/op"
+		if len(parts) == 3 {
+			unit = parts[2]
 		}
 		c, err := find(cur, prefix)
 		if err != nil {
@@ -159,15 +181,22 @@ func gate(cur, base *File, spec string) error {
 				prefix, c != nil, b != nil)
 			continue
 		}
-		limit := b.NsPerOp * (1 + pct/100)
-		verdict := "ok"
-		if c.NsPerOp > limit {
-			verdict = "FAIL"
-			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, allowed +%.0f%%)",
-				c.Name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), pct))
+		cv, cok := value(c, unit)
+		bv, bok := value(b, unit)
+		if !cok || !bok {
+			fmt.Fprintf(os.Stderr, "benchjson: gate %q: unit %q missing (current=%v baseline=%v), skipping\n",
+				prefix, unit, cok, bok)
+			continue
 		}
-		fmt.Printf("gate %-40s %12.0f ns/op  baseline %12.0f  (%+.1f%%, allowed +%.0f%%)  %s\n",
-			c.Name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), pct, verdict)
+		limit := bv * (1 + pct/100)
+		verdict := "ok"
+		if cv > limit {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.0f %s vs baseline %.0f (+%.1f%%, allowed +%.0f%%)",
+				c.Name, cv, unit, bv, 100*(cv/bv-1), pct))
+		}
+		fmt.Printf("gate %-40s %12.0f %-9s baseline %12.0f  (%+.1f%%, allowed +%.0f%%)  %s\n",
+			c.Name, cv, unit, bv, 100*(cv/bv-1), pct, verdict)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("bench regression gate failed:\n  %s", strings.Join(failures, "\n  "))

@@ -73,3 +73,27 @@ func TestGate(t *testing.T) {
 		t.Error("ambiguous prefix accepted")
 	}
 }
+
+func TestGateMetricUnit(t *testing.T) {
+	base := parseSample(t, sample)
+	// allocs/op within a 50% allowance: +30%.
+	cur := parseSample(t, strings.Replace(sample, "158740 allocs/op", "206362 allocs/op", 1))
+	if err := gate(cur, base, "BenchmarkE2_Theorem2Exhaustive:50:allocs/op"); err != nil {
+		t.Errorf("+30%% allocs within a 50%% allowance failed the gate: %v", err)
+	}
+	// Past allowance: +100% allocs regresses even though ns/op is flat.
+	cur = parseSample(t, strings.Replace(sample, "158740 allocs/op", "317480 allocs/op", 1))
+	err := gate(cur, base, "BenchmarkE2_Theorem2Exhaustive:50:allocs/op")
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("+100%% allocs passed a 50%% allocs gate: %v", err)
+	}
+	// ns/op gating is unaffected by the allocs change.
+	if err := gate(cur, base, "BenchmarkE2_Theorem2Exhaustive:30"); err != nil {
+		t.Errorf("flat ns/op failed the default gate: %v", err)
+	}
+	// A unit absent from a side (run without -benchmem) is skipped.
+	noMem := parseSample(t, "BenchmarkE2_Theorem2Exhaustive 1 59759172 ns/op\n")
+	if err := gate(noMem, base, "BenchmarkE2_Theorem2Exhaustive:50:allocs/op"); err != nil {
+		t.Errorf("missing unit wedged the gate: %v", err)
+	}
+}

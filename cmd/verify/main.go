@@ -1,39 +1,79 @@
-// Command verify reproduces the paper's Theorem 2 evaluation: it runs the
-// gathering algorithm from every connected initial configuration of n
-// robots (all 3652 of them for the paper's n = 7) and reports the outcome
-// table, optionally with the rounds histogram and the per-diameter
-// statistics (experiment E7).
+// Command verify reproduces the paper's Theorem 2 evaluation and its
+// extensions on the unified sweep engine (internal/sweep): it runs the
+// gathering algorithm from every initial pattern of a sweep space under
+// a scheduler and reports the aggregated outcome table.
 //
-// With -n ≠ 7 it maps the paper's first open problem instead (§V,
-// "different numbers of robots"): the sweep runs over every connected
-// n-robot pattern against the minimum-diameter gathering goal
-// (config.GoalFor) and reports the gathered/stalled/livelock breakdown —
-// for n = 8 that is the 16689-pattern E11 sweep. The exit status checks
-// the Theorem 2 claim only for n = 7; other sizes are exploratory maps,
-// so the breakdown itself is the result.
+// The default invocation is the paper's claim itself — the full
+// algorithm from all 3652 connected 7-robot patterns under FSYNC — and
+// the exit status asserts it: verify exits non-zero when the sweep does
+// not fully gather, so CI can check Theorem 2 directly. Exploratory
+// sweeps that are expected to fail (the n = 8 open-problem map, the
+// SSYNC robustness map, relaxed connectivity) pass -allow-failures.
+//
+//	-n N          sweep every connected N-robot pattern (E11: -n 8)
+//	-range R      relax the space to visibility-R-connected patterns
+//	              (E9: -range 2; the full n = 7 range-2 space is ≈2.6 M
+//	              patterns, swept with constant memory)
+//	-sched S      fsync (default), ssync (seeded random subsets), or
+//	              cent (round-robin centralized adversary)
+//	-seeds M      run each pattern under M activation schedules
+//	              (seeds 1..M); the report aggregates per-pattern
+//	              robustness (E12: -sched ssync -seeds 32)
+//	-json         print the aggregated report as JSON
+//	-cases F      stream every per-run result to F as JSON lines while
+//	              sweeping (constant memory: nothing is retained)
+//	-stats        print rounds histogram and per-diameter table
+//	-classes      print the failure taxonomy (status × initial diameter)
 //
 // Usage:
 //
 //	verify [-alg full|no-table|no-reconstruction|paper|three|idle|greedy]
-//	       [-n 7] [-stats] [-workers N]
+//	       [-n 7] [-range 1] [-sched fsync|ssync|cent] [-seeds 1]
+//	       [-max-rounds N] [-workers N] [-stats] [-classes]
+//	       [-json] [-cases out.jsonl] [-allow-failures] [-progress]
 package main
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/core"
-	"repro/internal/exhaustive"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
+
+// caseLine is the JSONL schema of -cases: one line per run.
+type caseLine struct {
+	Index   int    `json:"index"`
+	Pattern int    `json:"pattern"`
+	Initial string `json:"initial"`
+	Seed    int64  `json:"seed,omitempty"`
+	Status  string `json:"status"`
+	Rounds  int    `json:"rounds"`
+	Moves   int    `json:"moves"`
+	Class   string `json:"class,omitempty"`
+}
 
 func main() {
 	algName := flag.String("alg", "full", "algorithm (full, no-table, no-reconstruction, paper, three, idle, greedy)")
 	n := flag.Int("n", 7, "robot count: sweep every connected n-robot pattern")
-	stats := flag.Bool("stats", false, "print rounds histogram and per-diameter table")
+	visRange := flag.Int("range", 1, "connectivity relaxation: sweep visibility-R-connected patterns (1 = adjacency, the paper's space)")
+	schedName := flag.String("sched", "fsync", "scheduler: fsync, ssync, cent")
+	seeds := flag.Int("seeds", 1, "activation schedules per pattern (ssync robustness axis; seeds 1..M)")
+	maxRounds := flag.Int("max-rounds", 0, "round budget per run (0 = default)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print rounds histogram and per-diameter table")
+	classes := flag.Bool("classes", false, "print the failure taxonomy (status × initial diameter)")
+	jsonOut := flag.Bool("json", false, "print the aggregated report as JSON")
+	casesPath := flag.String("cases", "", "stream per-run results to this file as JSON lines")
+	allowFailures := flag.Bool("allow-failures", false, "exit 0 even when the sweep does not fully gather")
+	progress := flag.Bool("progress", false, "report sweep progress on stderr")
 	flag.Parse()
 
 	var alg core.Algorithm
@@ -56,17 +96,142 @@ func main() {
 		fmt.Fprintf(os.Stderr, "verify: unknown algorithm %q\n", *algName)
 		os.Exit(2)
 	}
+	if *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "verify: -seeds must be at least 1")
+		os.Exit(2)
+	}
+	if *jsonOut && *stats {
+		// -stats needs retained cases and renders text tables the JSON
+		// report does not carry; rejecting beats silently retaining
+		// every case and printing nothing. (-classes data IS in the
+		// JSON, as by_class.)
+		fmt.Fprintln(os.Stderr, "verify: -stats and -json are mutually exclusive (use -cases for per-run JSON)")
+		os.Exit(2)
+	}
 
 	// One shared view→move cache for the whole invocation: every worker
-	// and (with future multi-sweep flags) every sweep hits the same table.
-	report := exhaustive.Verify(alg, exhaustive.Options{
-		Robots:  *n,
-		Workers: *workers,
-		Cache:   core.NewMemo(),
-	})
-	fmt.Println(report)
+	// and every schedule of every pattern hits the same table.
+	spec := sweep.Spec{
+		N:         *n,
+		Alg:       alg,
+		Workers:   *workers,
+		MaxRounds: *maxRounds,
+		Cache:     core.NewMemo(),
+		Seeds:     sweep.SeedRange(1, *seeds),
+		KeepCases: *stats,
+	}
+	switch *schedName {
+	case "fsync":
+		// Spec default: sim.Run's allocation-free FSYNC fast path.
+	case "ssync":
+		spec.Scheduler = sweep.SSYNC
+	case "cent":
+		spec.Scheduler = sweep.CENT
+	default:
+		fmt.Fprintf(os.Stderr, "verify: unknown scheduler %q\n", *schedName)
+		os.Exit(2)
+	}
+	if *visRange > 1 {
+		spec.Source = sweep.ConnectedWithin(*n, *visRange)
+	}
+	if *progress {
+		spec.Progress = func(done, total int) {
+			if done%5000 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "verify: %d/%d runs\r", done, total)
+			}
+		}
+	}
 
-	if *stats {
+	// Per-run streaming output: each result is written as it is
+	// delivered (in order), never retained — a 2.6 M-run sweep streams
+	// in O(workers) memory.
+	var visit func(sweep.CaseResult) error
+	var casesBuf *bufio.Writer
+	var casesFile *os.File
+	if *casesPath != "" {
+		f, err := os.Create(*casesPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			os.Exit(2)
+		}
+		casesFile = f
+		casesBuf = bufio.NewWriter(f)
+		enc := json.NewEncoder(casesBuf)
+		visit = func(c sweep.CaseResult) error {
+			line := caseLine{
+				Index:   c.Index,
+				Pattern: c.Pattern,
+				Initial: c.Initial.Key(),
+				Seed:    c.Seed,
+				Status:  c.Status.String(),
+				Rounds:  c.Rounds,
+				Moves:   c.Moves,
+			}
+			if c.Status != sim.Gathered {
+				line.Class = c.Class.String()
+			}
+			return enc.Encode(line)
+		}
+	}
+
+	report, err := sweep.Stream(context.Background(), spec, visit)
+	if casesBuf != nil {
+		if err == nil {
+			err = casesBuf.Flush()
+		}
+		if cerr := casesFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+		os.Exit(2)
+	}
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Println(report)
+		if report.Schedules > 1 {
+			fmt.Println("\nrobustness histogram (patterns by schedules gathered):")
+			for k, count := range report.Robust {
+				if count > 0 {
+					fmt.Printf("%4d/%d: %6d\n", k, report.Schedules, count)
+				}
+			}
+		}
+	}
+
+	if *classes && !*jsonOut {
+		type row struct {
+			class sweep.Class
+			count int
+		}
+		rows := make([]row, 0, len(report.ByClass))
+		for cl, count := range report.ByClass {
+			rows = append(rows, row{cl, count})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].class.Status != rows[j].class.Status {
+				return rows[i].class.Status < rows[j].class.Status
+			}
+			return rows[i].class.Diameter < rows[j].class.Diameter
+		})
+		fmt.Println("\nfailure taxonomy (status × initial diameter):")
+		for _, r := range rows {
+			fmt.Printf("%-18s %6d\n", r.class, r.count)
+		}
+	}
+
+	if *stats && !*jsonOut {
 		rounds := metrics.NewHistogram()
 		for _, c := range report.Cases {
 			if c.Status == sim.Gathered {
@@ -80,7 +245,8 @@ func main() {
 			fmt.Printf("%4d %6d %11d %12.2f\n", s.Diameter, s.Count, s.MaxRounds, s.MeanRounds)
 		}
 	}
-	if *n == 7 && !report.AllGathered() {
+
+	if !report.AllGathered() && !*allowFailures {
 		os.Exit(1)
 	}
 }

@@ -1,6 +1,7 @@
 package enumerate
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/config"
@@ -14,6 +15,28 @@ func TestPolyhexCounts(t *testing.T) {
 		got := len(Connected(n))
 		if got != KnownCounts[n] {
 			t.Errorf("Connected(%d) produced %d patterns, want %d", n, got, KnownCounts[n])
+		}
+	}
+}
+
+// TestKnownCountsTwoTier cross-checks the extended KnownCounts table
+// (through n = 12, OEIS A001207) against the two-tier compact-key
+// enumeration. Every size through 12 is inside the exact Key128
+// envelope, so a count mismatch means a dedup bug, not a key
+// collision. Sizes 8–9 run always (~1 s), 10 outside -short (~6 s);
+// 11 and 12 need minutes of CPU and gigabytes of map, so they hide
+// behind ENUM_HEAVY=1 — run them when touching the key or dedup code.
+func TestKnownCountsTwoTier(t *testing.T) {
+	top := 9
+	if !testing.Short() {
+		top = 10
+	}
+	if os.Getenv("ENUM_HEAVY") != "" {
+		top = 12
+	}
+	for n := 8; n <= top; n++ {
+		if got := Count(n); got != KnownCounts[n] {
+			t.Errorf("Count(%d) = %d, want %d (A001207)", n, got, KnownCounts[n])
 		}
 	}
 }

@@ -28,6 +28,55 @@ func ConnectedWithin(n, visRange int) []config.Config {
 	return current.sorted()
 }
 
+// EachWithin streams every n-node visibility-connected pattern to visit
+// exactly once, in deterministic order, without retaining the size-n
+// generation: only the size-(n-1) parents are materialized, and the
+// final growth step deduplicates through a config.PatternSet — compact
+// keys, no Config values. For the ≈2.6 M-pattern n = 7 range-2 space
+// (E9) that replaces gigabytes of retained configurations with a
+// ~200 k-parent list plus a key set, which is what makes the space
+// sweepable. Patterns stream in parent-major order (parents sorted by
+// config.Compare), not globally sorted like ConnectedWithin; visit
+// returning false stops the stream. It returns the number of patterns
+// yielded; a nil visit just counts.
+func EachWithin(n, visRange int, visit func(config.Config) bool) int {
+	if n < 0 || visRange < 1 {
+		panic("enumerate: bad arguments")
+	}
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		if visit != nil {
+			visit(config.New(grid.Origin))
+		}
+		return 1
+	}
+	parents := ConnectedWithin(n-1, visRange)
+	var seen config.PatternSet
+	var scr growScratch
+	count := 0
+	for _, p := range parents {
+		scr.base = p.AppendNodes(scr.base[:0])
+		for _, v := range scr.base {
+			for _, nb := range v.Disk(visRange) {
+				if containsCoord(scr.base, nb) {
+					continue
+				}
+				scr.merged = mergeInsert(scr.merged[:0], scr.base, nb)
+				if !seen.AddNodes(scr.merged) {
+					continue
+				}
+				count++
+				if visit != nil && !visit(config.New(scr.merged...).Normalize()) {
+					return count
+				}
+			}
+		}
+	}
+	return count
+}
+
 // growWithinInto extends c by one node within visRange of an existing
 // node, deduplicating by compact key into dst.
 func growWithinInto(c config.Config, visRange int, dst *patternMap, scr *growScratch) {

@@ -108,6 +108,48 @@ func TestRandomWithinDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+// TestEachWithinMatchesConnectedWithin checks that the streaming
+// enumeration yields exactly the materialized pattern set — same
+// count, same patterns, no duplicates — and that early stop works.
+func TestEachWithinMatchesConnectedWithin(t *testing.T) {
+	for _, tc := range []struct{ n, r int }{{3, 2}, {4, 2}, {5, 2}, {4, 3}} {
+		want := map[string]bool{}
+		for _, c := range ConnectedWithin(tc.n, tc.r) {
+			want[c.Key()] = true
+		}
+		seen := map[string]bool{}
+		count := EachWithin(tc.n, tc.r, func(c config.Config) bool {
+			k := c.Key()
+			if seen[k] {
+				t.Fatalf("n=%d r=%d: duplicate pattern %s", tc.n, tc.r, k)
+			}
+			if !want[k] {
+				t.Fatalf("n=%d r=%d: unexpected pattern %s", tc.n, tc.r, k)
+			}
+			if !c.Equal(c.Normalize()) {
+				t.Fatalf("n=%d r=%d: non-normalized pattern %s", tc.n, tc.r, k)
+			}
+			seen[k] = true
+			return true
+		})
+		if count != len(want) || len(seen) != len(want) {
+			t.Fatalf("n=%d r=%d: streamed %d patterns (visited %d), want %d",
+				tc.n, tc.r, count, len(seen), len(want))
+		}
+		if got := EachWithin(tc.n, tc.r, nil); got != len(want) {
+			t.Fatalf("n=%d r=%d: counting pass gave %d, want %d", tc.n, tc.r, got, len(want))
+		}
+	}
+	stopped := 0
+	EachWithin(5, 2, func(config.Config) bool {
+		stopped++
+		return stopped < 10
+	})
+	if stopped != 10 {
+		t.Fatalf("early stop visited %d patterns, want 10", stopped)
+	}
+}
+
 func BenchmarkEnumerateRelaxed5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if len(ConnectedWithin(5, 2)) != 15198 {

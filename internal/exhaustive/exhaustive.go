@@ -1,22 +1,27 @@
 // Package exhaustive reproduces the paper's Theorem 2 evaluation: it runs
 // the gathering algorithm from every connected initial configuration of n
 // robots ("3652 patterns in total" for n = 7) under the FSYNC scheduler
-// and aggregates outcomes. Runs are independent, so the sweep fans out
-// over a worker pool of goroutines; aggregation is deterministic
-// regardless of worker count.
+// and aggregates outcomes.
+//
+// Since the unified sweep engine landed, Verify is a thin compatibility
+// shim over internal/sweep — Spec{N, Alg, KeepCases: true} with FSYNC
+// defaults — kept because its blocking, Cases-retaining Report is the
+// shape the equivalence tests, the ablation benchmarks, and the examples
+// were written against. New sweeps (SSYNC robustness, relaxed
+// connectivity, streamed JSONL output) should use sweep.Run or
+// sweep.Stream directly.
 package exhaustive
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/config"
 	"repro/internal/core"
-	"repro/internal/enumerate"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // Options tune a sweep.
@@ -67,6 +72,10 @@ type Report struct {
 	MeanMoves  float64
 	// Cases lists per-configuration results in enumeration order.
 	Cases []CaseResult
+
+	// sweep is the underlying engine report; the per-diameter analysis
+	// delegates to it.
+	sweep *sweep.Report
 }
 
 // Gathered returns the number of runs that gathered.
@@ -77,82 +86,47 @@ func (r *Report) Gathered() int { return r.ByStatus[sim.Gathered] }
 func (r *Report) AllGathered() bool { return r.Gathered() == r.Total }
 
 // Verify sweeps every connected initial configuration with the given
-// algorithm and returns the aggregated report.
+// algorithm and returns the aggregated report. It executes on the
+// streaming sweep engine (sweep.Run) with case retention on; the report
+// is pinned report-for-report to the pre-engine behavior by the root
+// package's equivalence tests.
 func Verify(alg core.Algorithm, opts Options) *Report {
 	if opts.Robots <= 0 {
 		opts.Robots = 7
 	}
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
+	rep, err := sweep.Run(context.Background(), sweep.Spec{
+		N:         opts.Robots,
+		Alg:       alg,
+		Workers:   opts.Workers,
+		MaxRounds: opts.MaxRounds,
+		Cache:     opts.Cache,
+		Goal:      opts.Goal,
+		KeepCases: true,
+	})
+	if err != nil {
+		// Unreachable: a background context is never cancelled and no
+		// visitor is installed, the only error sources of a sweep.
+		panic(fmt.Sprintf("exhaustive: sweep failed: %v", err))
 	}
-	if opts.Cache != nil {
-		alg = core.Memoize(alg, opts.Cache)
-	}
-	goal := opts.Goal
-	if goal == nil {
-		goal = config.GoalFor(opts.Robots)
-	}
-	initials := enumerate.Connected(opts.Robots)
 	report := &Report{
-		Algorithm: alg.Name(),
-		Robots:    opts.Robots,
-		Total:     len(initials),
-		ByStatus:  map[sim.Status]int{},
-		Cases:     make([]CaseResult, len(initials)),
+		Algorithm:  rep.Algorithm,
+		Robots:     opts.Robots,
+		Total:      rep.Total,
+		ByStatus:   rep.ByStatus,
+		MaxRounds:  rep.MaxRounds,
+		MeanRounds: rep.MeanRounds,
+		MaxMoves:   rep.MaxMoves,
+		MeanMoves:  rep.MeanMoves,
+		Cases:      make([]CaseResult, len(rep.Cases)),
+		sweep:      rep,
 	}
-
-	var wg sync.WaitGroup
-	jobs := make(chan int, opts.Workers)
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// One pooled cycle set per worker: the per-run cycle maps were
-			// the largest remaining per-run allocation of a sweep, and a
-			// worker's runs are sequential, so reuse is safe.
-			var cycles config.PatternSet
-			for i := range jobs {
-				res := sim.Run(alg, initials[i], sim.Options{
-					MaxRounds:        opts.MaxRounds,
-					DetectCycles:     true,
-					StopOnDisconnect: true,
-					Goal:             goal,
-					CycleSet:         &cycles,
-				})
-				report.Cases[i] = CaseResult{
-					Initial: initials[i],
-					Status:  res.Status,
-					Rounds:  res.Rounds,
-					Moves:   res.Moves,
-				}
-			}
-		}()
-	}
-	for i := range initials {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
-	var sumRounds, sumMoves, gathered int
-	for _, c := range report.Cases {
-		report.ByStatus[c.Status]++
-		if c.Status != sim.Gathered {
-			continue
+	for i, c := range rep.Cases {
+		report.Cases[i] = CaseResult{
+			Initial: c.Initial,
+			Status:  c.Status,
+			Rounds:  c.Rounds,
+			Moves:   c.Moves,
 		}
-		gathered++
-		sumRounds += c.Rounds
-		sumMoves += c.Moves
-		if c.Rounds > report.MaxRounds {
-			report.MaxRounds = c.Rounds
-		}
-		if c.Moves > report.MaxMoves {
-			report.MaxMoves = c.Moves
-		}
-	}
-	if gathered > 0 {
-		report.MeanRounds = float64(sumRounds) / float64(gathered)
-		report.MeanMoves = float64(sumMoves) / float64(gathered)
 	}
 	return report
 }
@@ -168,41 +142,19 @@ func (r *Report) Failures() []CaseResult {
 	return out
 }
 
-// ByDiameter buckets gathered runs by the diameter of the initial
+// DiameterStats buckets gathered runs by the diameter of the initial
 // configuration and reports per-bucket round statistics (experiment E7).
-type DiameterStats struct {
-	Diameter   int
-	Count      int
-	MaxRounds  int
-	MeanRounds float64
-}
+// It is the sweep engine's type; the bucketing lives there.
+type DiameterStats = sweep.DiameterStats
 
-// RoundsByDiameter aggregates gathered runs per initial diameter.
+// RoundsByDiameter aggregates gathered runs per initial diameter. It
+// delegates to the underlying sweep report, so it returns nil on a
+// manually built Report (Verify always sets the link).
 func (r *Report) RoundsByDiameter() []DiameterStats {
-	agg := map[int]*DiameterStats{}
-	for _, c := range r.Cases {
-		if c.Status != sim.Gathered {
-			continue
-		}
-		d := c.Initial.Diameter()
-		s := agg[d]
-		if s == nil {
-			s = &DiameterStats{Diameter: d}
-			agg[d] = s
-		}
-		s.Count++
-		s.MeanRounds += float64(c.Rounds) // sum; normalized below
-		if c.Rounds > s.MaxRounds {
-			s.MaxRounds = c.Rounds
-		}
+	if r.sweep == nil {
+		return nil
 	}
-	out := make([]DiameterStats, 0, len(agg))
-	for _, s := range agg {
-		s.MeanRounds /= float64(s.Count)
-		out = append(out, *s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Diameter < out[j].Diameter })
-	return out
+	return r.sweep.RoundsByDiameter()
 }
 
 // String renders the report as the Theorem 2 summary table.

@@ -55,6 +55,11 @@ func (s Status) String() string {
 	return fmt.Sprintf("Status(%d)", uint8(s))
 }
 
+// MarshalText renders the status name, which also makes map[Status]int
+// serialize as a JSON object keyed by status name (the sweep reports'
+// by-status breakdown).
+func (s Status) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
 // CollisionKind distinguishes the three prohibited behaviors of §II-A.
 type CollisionKind uint8
 

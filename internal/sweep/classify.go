@@ -1,0 +1,38 @@
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// Class is one cell of the failure taxonomy: what went wrong × how
+// spread out the initial pattern was. The paper's §V asks *where* the
+// seven-robot construction stops carrying (other robot counts, relaxed
+// connectivity, weaker schedulers); bucketing failures by initial
+// diameter is the first axis of that map — the E7 analysis showed
+// rounds-to-gather is governed by the initial diameter, and the same
+// bucketing separates "fails immediately on dense patterns" from
+// "loses the plot on sparse ones".
+type Class struct {
+	// Status is the failure mode (stalled, livelock, collision,
+	// disconnected, round-limit).
+	Status sim.Status
+	// Diameter is the initial configuration's diameter.
+	Diameter int
+}
+
+// Classify buckets one run's outcome by failure mode and the initial
+// pattern's diameter.
+func Classify(initial config.Config, status sim.Status) Class {
+	return Class{Status: status, Diameter: initial.Diameter()}
+}
+
+// String renders the class as "status/d<diameter>", e.g. "livelock/d4".
+func (c Class) String() string {
+	return fmt.Sprintf("%s/d%d", c.Status, c.Diameter)
+}
+
+// MarshalText lets map[Class]int serialize as JSON object keys.
+func (c Class) MarshalText() ([]byte, error) { return []byte(c.String()), nil }

@@ -1,0 +1,46 @@
+package sweep
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// DiameterStats is one row of the rounds-versus-initial-diameter table
+// (experiment E7): per-bucket count and round statistics over gathered
+// runs.
+type DiameterStats struct {
+	Diameter   int
+	Count      int
+	MaxRounds  int
+	MeanRounds float64
+}
+
+// RoundsByDiameter aggregates gathered runs per initial diameter. It
+// needs retained cases (Spec.KeepCases); without them it returns nil.
+func (r *Report) RoundsByDiameter() []DiameterStats {
+	agg := map[int]*DiameterStats{}
+	for _, c := range r.Cases {
+		if c.Status != sim.Gathered {
+			continue
+		}
+		d := c.Initial.Diameter()
+		s := agg[d]
+		if s == nil {
+			s = &DiameterStats{Diameter: d}
+			agg[d] = s
+		}
+		s.Count++
+		s.MeanRounds += float64(c.Rounds) // sum; normalized below
+		if c.Rounds > s.MaxRounds {
+			s.MaxRounds = c.Rounds
+		}
+	}
+	out := make([]DiameterStats, 0, len(agg))
+	for _, s := range agg {
+		s.MeanRounds /= float64(s.Count)
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Diameter < out[j].Diameter })
+	return out
+}

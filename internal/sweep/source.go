@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/enumerate"
+)
+
+// Source yields the initial patterns of a sweep in a deterministic
+// order. Count and Each may be called from different goroutines, but
+// never concurrently with themselves.
+type Source interface {
+	// Label names the source in reports, e.g. "connected(7)".
+	Label() string
+	// Count returns the number of patterns the source yields.
+	Count() int
+	// Each calls visit with every pattern and its index, in order,
+	// stopping early when visit returns false.
+	Each(visit func(i int, c config.Config) bool)
+}
+
+// sliceSource materializes its pattern list lazily, once, on first use
+// — so building a Spec costs nothing until the sweep runs.
+type sliceSource struct {
+	label string
+	once  sync.Once
+	build func() []config.Config
+	list  []config.Config
+}
+
+func (s *sliceSource) Label() string { return s.label }
+
+func (s *sliceSource) Count() int {
+	s.once.Do(func() { s.list = s.build() })
+	return len(s.list)
+}
+
+func (s *sliceSource) Each(visit func(int, config.Config) bool) {
+	s.once.Do(func() { s.list = s.build() })
+	for i, c := range s.list {
+		if !visit(i, c) {
+			return
+		}
+	}
+}
+
+// Connected is the paper's sweep space: every connected n-robot pattern
+// up to translation (enumerate.Connected), in enumeration order.
+func Connected(n int) Source {
+	return &sliceSource{
+		label: fmt.Sprintf("connected(%d)", n),
+		build: func() []config.Config { return enumerate.Connected(n) },
+	}
+}
+
+// ConnectedWithin is the relaxed-connectivity space (experiment E9):
+// every n-robot pattern whose visibility graph at the given range is
+// connected. Unlike Connected it streams (enumerate.EachWithin): the
+// size-n generation is never materialized — only the size-(n-1)
+// parents plus a compact key set — because at range 2 the full n = 7
+// space is ≈2.6 M patterns and retaining them is exactly the memory
+// wall the streaming engine exists to remove. Count costs one extra
+// counting pass; patterns arrive in EachWithin's parent-major order.
+func ConnectedWithin(n, visRange int) Source {
+	return &withinSource{n: n, visRange: visRange}
+}
+
+type withinSource struct {
+	n, visRange int
+	once        sync.Once
+	total       int
+}
+
+func (s *withinSource) Label() string { return fmt.Sprintf("within(%d,%d)", s.n, s.visRange) }
+
+func (s *withinSource) Count() int {
+	s.once.Do(func() { s.total = enumerate.EachWithin(s.n, s.visRange, nil) })
+	return s.total
+}
+
+func (s *withinSource) Each(visit func(int, config.Config) bool) {
+	i := 0
+	enumerate.EachWithin(s.n, s.visRange, func(c config.Config) bool {
+		ok := visit(i, c)
+		i++
+		return ok
+	})
+}
+
+// Patterns sweeps an explicit pattern list in the given order — single
+// scenarios, regression fixtures, or a failure set re-run under more
+// schedules.
+func Patterns(cs ...config.Config) Source {
+	return &sliceSource{
+		label: fmt.Sprintf("list(%d)", len(cs)),
+		build: func() []config.Config { return cs },
+	}
+}

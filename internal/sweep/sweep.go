@@ -1,0 +1,445 @@
+// Package sweep is the unified streaming sweep engine: one Spec
+// describes "run an algorithm from every initial pattern under a
+// scheduler and aggregate outcomes" — the shape of every evaluation in
+// the paper and of every extension experiment — and one executor runs
+// it with constant memory, deterministic aggregation, and context
+// cancellation.
+//
+// The three historically incompatible entry points all reduce to a
+// Spec:
+//
+//   - the Theorem 2 FSYNC exhaustive sweep (exhaustive.Verify, now a
+//     shim over this package) is Spec{N: 7},
+//   - the SSYNC robustness experiment (E8/E12) is Spec{Scheduler:
+//     SSYNC, Seeds: SeedRange(1, 32)} — every pattern runs once per
+//     seeded activation schedule and the Report aggregates per-pattern
+//     robustness (gathered in k of m schedules),
+//   - the relaxed-connectivity sweep (E9) is Spec{Source:
+//     ConnectedWithin(7, 2)} over the ≈2.6 M-pattern range-2 space.
+//
+// Execution is streaming: Stream delivers every CaseResult to a visitor
+// in source order (independent of worker count) and retains none of
+// them unless Spec.KeepCases is set, so beyond the Source's own storage
+// (ConnectedWithin streams its generation; Connected materializes its
+// enumeration) a sweep holds O(Workers) configurations regardless of
+// sweep size. Failures carry a
+// Classify taxonomy (status × initial-diameter bucket) toward the §V
+// open problem of characterizing where the seven-robot construction
+// stops carrying.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Spec describes one sweep: which patterns, which algorithm, which
+// scheduler, and how to execute. The zero value (with defaults filled
+// by Run/Stream) is the paper's Theorem 2 sweep: the full Gatherer
+// over every connected 7-robot pattern under FSYNC.
+type Spec struct {
+	// N is the robot count; it selects the default Source and is
+	// recorded in the Report. Default 7, the paper's case.
+	N int
+	// Alg is the algorithm under test. Default core.Gatherer{}.
+	Alg core.Algorithm
+	// Scheduler builds the activation scheduler for one run from its
+	// seed. Nil selects FSYNC (the paper's model), which runs on
+	// sim.Run's allocation-free fast path. Non-nil runs go through
+	// sched.Run; the factory is called once per (pattern, seed) run, so
+	// stateful schedulers (SSYNC's seeded random subsets) are
+	// reconstructed identically regardless of worker scheduling.
+	Scheduler func(seed int64) sched.Scheduler
+	// Seeds lists the activation schedules each pattern is run under —
+	// the robustness axis of the SSYNC experiments. Each pattern runs
+	// len(Seeds) times, once per seed, and the Report aggregates
+	// per-pattern robustness (gathered in k of len(Seeds) schedules).
+	// Empty means one run per pattern with seed 0. Deterministic
+	// schedulers (FSYNC, CENT) ignore the seed value.
+	Seeds []int64
+	// Goal overrides the success predicate handed to every run. Nil
+	// selects config.GoalFor over each pattern's robot count: the
+	// paper's hexagon at n = 7, minimum diameter elsewhere.
+	Goal func(config.Config) bool
+	// Source yields the initial patterns. Nil selects Connected(N).
+	Source Source
+	// MaxRounds bounds each run (default sim.DefaultMaxRounds).
+	MaxRounds int
+	// Workers is the worker-pool size (default GOMAXPROCS).
+	Workers int
+	// Cache, when non-nil, memoizes the algorithm's Compute decisions
+	// in this shared view→move cache (core.Memoize), warm across
+	// several sweeps handed the same cache.
+	Cache *core.Memo
+	// KeepCases retains every CaseResult in Report.Cases. Off by
+	// default: a sweep then holds O(Workers) configurations total,
+	// which is what makes the ≈2.6 M-pattern relaxed space sweepable.
+	KeepCases bool
+	// Progress, when non-nil, is called after every in-order delivered
+	// case with the number of runs completed and the total. It is
+	// called from the aggregation goroutine, in order, never
+	// concurrently.
+	Progress func(done, total int)
+}
+
+// CaseResult records one run's outcome: one initial pattern under one
+// activation schedule.
+type CaseResult struct {
+	// Index is the global run index: Pattern*len(Seeds) + seed
+	// position. Stream delivers cases in increasing Index order.
+	Index int
+	// Pattern is the pattern's index in Source order.
+	Pattern int
+	// Initial is the starting configuration.
+	Initial config.Config
+	// Seed is the activation-schedule seed of this run.
+	Seed   int64
+	Status sim.Status
+	Rounds int
+	Moves  int
+	// Class is the failure taxonomy entry (status × initial-diameter
+	// bucket); meaningful for failed runs, zero-diameter-bucket
+	// Gathered otherwise.
+	Class Class
+}
+
+// Report aggregates a sweep. All aggregation happens in source order on
+// a single goroutine, so reports are bit-identical across worker
+// counts.
+type Report struct {
+	Algorithm string `json:"algorithm"`
+	Scheduler string `json:"scheduler"`
+	Robots    int    `json:"robots"`
+	Source    string `json:"source"`
+	// Patterns is the number of distinct initial patterns; Schedules
+	// the number of runs per pattern (len(Spec.Seeds), 1 minimum);
+	// Total their product.
+	Patterns  int `json:"patterns"`
+	Schedules int `json:"schedules"`
+	Total     int `json:"total"`
+	// ByStatus counts outcomes per status over all runs.
+	ByStatus map[sim.Status]int `json:"by_status"`
+	// ByClass counts failed runs per taxonomy class.
+	ByClass map[Class]int `json:"by_class,omitempty"`
+	// MaxRounds / MeanRounds / MaxMoves / MeanMoves are over gathered runs.
+	MaxRounds  int     `json:"max_rounds"`
+	MeanRounds float64 `json:"mean_rounds"`
+	MaxMoves   int     `json:"max_moves"`
+	MeanMoves  float64 `json:"mean_moves"`
+	// Robust is the robustness histogram: Robust[k] counts the patterns
+	// that gathered in exactly k of the Schedules runs. For a
+	// single-schedule sweep it degenerates to {failed, gathered}.
+	Robust []int `json:"robust"`
+	// PeakPending is the high-water mark of the in-order delivery
+	// buffer — the number of configurations the engine held at once
+	// beyond the workers' own. The dispatch window bounds it at
+	// 4 × Workers, which is the constant-memory claim; the tests assert
+	// it. It is a scheduling-dependent diagnostic, not a result, so it
+	// is excluded from JSON to keep serialized reports bit-identical
+	// across runs and worker counts.
+	PeakPending int `json:"-"`
+	// Cases lists per-run results in Index order when Spec.KeepCases
+	// was set; nil otherwise. Excluded from JSON — stream them with
+	// Stream instead of retaining.
+	Cases []CaseResult `json:"-"`
+}
+
+// Gathered returns the number of runs that gathered.
+func (r *Report) Gathered() int { return r.ByStatus[sim.Gathered] }
+
+// AllGathered reports whether every run gathered — for the FSYNC n = 7
+// sweep, the paper's Theorem 2 claim.
+func (r *Report) AllGathered() bool { return r.Gathered() == r.Total }
+
+// FullyRobust returns the number of patterns that gathered under every
+// schedule.
+func (r *Report) FullyRobust() int {
+	if len(r.Robust) == 0 {
+		return 0
+	}
+	return r.Robust[len(r.Robust)-1]
+}
+
+// Failures returns the retained cases that did not gather (empty unless
+// the sweep kept cases).
+func (r *Report) Failures() []CaseResult {
+	var out []CaseResult
+	for _, c := range r.Cases {
+		if c.Status != sim.Gathered {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the report summary: the outcome table, plus the
+// robustness line for multi-schedule sweeps.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "algorithm %s, n=%d, scheduler %s, source %s: %d/%d gathered",
+		r.Algorithm, r.Robots, r.Scheduler, r.Source, r.Gathered(), r.Total)
+	if r.Gathered() > 0 {
+		fmt.Fprintf(&b, " (rounds max %d mean %.1f, moves max %d mean %.1f)",
+			r.MaxRounds, r.MeanRounds, r.MaxMoves, r.MeanMoves)
+	}
+	statuses := make([]sim.Status, 0, len(r.ByStatus))
+	for s := range r.ByStatus {
+		if s != sim.Gathered {
+			statuses = append(statuses, s)
+		}
+	}
+	sort.Slice(statuses, func(i, j int) bool { return statuses[i] < statuses[j] })
+	for _, s := range statuses {
+		fmt.Fprintf(&b, ", %s %d", s, r.ByStatus[s])
+	}
+	if r.Schedules > 1 {
+		fmt.Fprintf(&b, "; robustness: %d/%d patterns in all %d schedules, %d in none",
+			r.FullyRobust(), r.Patterns, r.Schedules, r.Robust[0])
+	}
+	return b.String()
+}
+
+// SSYNC is a Spec.Scheduler factory selecting the seeded random-subset
+// SSYNC adversary: each seed replays one activation schedule exactly.
+func SSYNC(seed int64) sched.Scheduler { return sched.NewRandomSubset(seed) }
+
+// CENT is a Spec.Scheduler factory for the round-robin centralized
+// adversary; the seed is ignored (the schedule is deterministic).
+func CENT(int64) sched.Scheduler { return sched.RoundRobin{} }
+
+// SeedRange returns the m seeds base, base+1, …, base+m-1 — the
+// conventional seed list of a robustness sweep.
+func SeedRange(base int64, m int) []int64 {
+	out := make([]int64, m)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}
+
+// Run executes the sweep and returns the aggregated report. It is
+// Stream with no visitor.
+func Run(ctx context.Context, spec Spec) (*Report, error) {
+	return Stream(ctx, spec, nil)
+}
+
+// job is one (pattern, seed) run handed to a worker.
+type job struct {
+	index   int
+	pattern int
+	seed    int64
+	initial config.Config
+}
+
+// Stream executes the sweep, delivering every CaseResult to visit in
+// increasing Index order before aggregating it. The visitor runs on the
+// aggregation goroutine — never concurrently — and a non-nil error from
+// it cancels the sweep and is returned. On context cancellation Stream
+// stops dispatching, lets in-flight runs finish, and returns the
+// context's error; no goroutines are leaked either way.
+//
+// Memory is constant in the sweep size: beyond the Source itself,
+// Stream holds the workers' in-flight runs plus a bounded reorder
+// buffer (Report.PeakPending records its high-water mark), and retains
+// no cases unless Spec.KeepCases is set.
+func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Report, error) {
+	if spec.N <= 0 {
+		spec.N = 7
+	}
+	if spec.Alg == nil {
+		spec.Alg = core.Gatherer{}
+	}
+	if spec.Workers <= 0 {
+		spec.Workers = runtime.GOMAXPROCS(0)
+	}
+	if spec.Source == nil {
+		spec.Source = Connected(spec.N)
+	}
+	seeds := spec.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{0}
+	}
+	alg := spec.Alg
+	if spec.Cache != nil {
+		alg = core.Memoize(alg, spec.Cache)
+	}
+	schedName := "fsync"
+	if spec.Scheduler != nil {
+		schedName = spec.Scheduler(seeds[0]).Name()
+	}
+
+	m := len(seeds)
+	patterns := spec.Source.Count()
+	report := &Report{
+		Algorithm: alg.Name(),
+		Scheduler: schedName,
+		Robots:    spec.N,
+		Source:    spec.Source.Label(),
+		Patterns:  patterns,
+		Schedules: m,
+		Total:     patterns * m,
+		ByStatus:  map[sim.Status]int{},
+		ByClass:   map[Class]int{},
+		Robust:    make([]int, m+1),
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The dispatch window is what makes the reorder buffer O(workers):
+	// without it a single slow run lets every other worker race
+	// arbitrarily far ahead, and the pending map holds the whole gap.
+	// The dispatcher takes a token per job, the collector returns it
+	// when the case is delivered in order, so completion can outrun
+	// delivery by at most the window.
+	window := 4 * spec.Workers
+	tokens := make(chan struct{}, window)
+
+	jobs := make(chan job, spec.Workers)
+	results := make(chan CaseResult, spec.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One pooled cycle set per worker: a worker's runs are
+			// sequential, so reuse is safe and removes the largest
+			// per-run allocation.
+			var cycles config.PatternSet
+			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // cancelled: drain the queue without running
+				}
+				opts := sim.Options{
+					MaxRounds:        spec.MaxRounds,
+					DetectCycles:     true,
+					StopOnDisconnect: true,
+					Goal:             spec.Goal,
+					CycleSet:         &cycles,
+				}
+				var res sim.Result
+				if spec.Scheduler == nil {
+					res = sim.Run(alg, j.initial, opts)
+				} else {
+					res = sched.Run(alg, j.initial, spec.Scheduler(j.seed), opts)
+				}
+				cr := CaseResult{
+					Index:   j.index,
+					Pattern: j.pattern,
+					Initial: j.initial,
+					Seed:    j.seed,
+					Status:  res.Status,
+					Rounds:  res.Rounds,
+					Moves:   res.Moves,
+					Class:   Classify(j.initial, res.Status),
+				}
+				select {
+				case results <- cr:
+				case <-ctx.Done():
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	go func() {
+		defer close(jobs)
+		spec.Source.Each(func(i int, c config.Config) bool {
+			for si, s := range seeds {
+				select {
+				case tokens <- struct{}{}:
+				case <-ctx.Done():
+					return false
+				}
+				select {
+				case jobs <- job{index: i*m + si, pattern: i, seed: s, initial: c}:
+				case <-ctx.Done():
+					return false
+				}
+			}
+			return true
+		})
+	}()
+
+	// Single-goroutine in-order aggregation: workers finish out of
+	// order, the pending buffer reorders them. Its size is bounded by
+	// the number of runs in flight (workers + channel capacities), so
+	// memory stays constant however large the sweep.
+	pending := make(map[int]CaseResult, spec.Workers)
+	next := 0
+	gatheredOfPattern := 0
+	var sumRounds, sumMoves, gathered int
+	var verr error
+	for cr := range results {
+		if verr != nil || ctx.Err() != nil {
+			continue // drain so the workers can exit
+		}
+		pending[cr.Index] = cr
+		if len(pending) > report.PeakPending {
+			report.PeakPending = len(pending)
+		}
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			<-tokens // return the dispatch-window slot
+			report.ByStatus[r.Status]++
+			if r.Status == sim.Gathered {
+				gathered++
+				gatheredOfPattern++
+				sumRounds += r.Rounds
+				sumMoves += r.Moves
+				if r.Rounds > report.MaxRounds {
+					report.MaxRounds = r.Rounds
+				}
+				if r.Moves > report.MaxMoves {
+					report.MaxMoves = r.Moves
+				}
+			} else {
+				report.ByClass[r.Class]++
+			}
+			if next%m == 0 { // pattern complete: all its schedules delivered
+				report.Robust[gatheredOfPattern]++
+				gatheredOfPattern = 0
+			}
+			if spec.KeepCases {
+				report.Cases = append(report.Cases, r)
+			}
+			if visit != nil {
+				if err := visit(r); err != nil {
+					verr = err
+					cancel()
+					break
+				}
+			}
+			if spec.Progress != nil {
+				spec.Progress(next, report.Total)
+			}
+		}
+	}
+	if verr != nil {
+		return nil, verr
+	}
+	if err := ctx.Err(); err != nil && next < report.Total {
+		return nil, err
+	}
+	if gathered > 0 {
+		report.MeanRounds = float64(sumRounds) / float64(gathered)
+		report.MeanMoves = float64(sumMoves) / float64(gathered)
+	}
+	return report, nil
+}

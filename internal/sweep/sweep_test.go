@@ -1,0 +1,261 @@
+package sweep_test
+
+// The sweep engine's contract: same results as a serial reference loop,
+// in-order streaming delivery, constant memory (O(workers) retained
+// configurations), deterministic aggregation independent of worker
+// count — including seeded SSYNC robustness sweeps — and prompt,
+// leak-free context cancellation. The root package's equivalence tests
+// additionally pin exhaustive.Verify (now a shim over this engine)
+// report-for-report against the legacy simulator paths.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/enumerate"
+	"repro/internal/exhaustive"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// TestRunMatchesSerialReference compares the full n = 7 sweep against
+// an inline serial loop over the same enumeration — the simplest
+// possible implementation of the same semantics.
+func TestRunMatchesSerialReference(t *testing.T) {
+	rep, err := sweep.Run(context.Background(), sweep.Spec{KeepCases: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initials := enumerate.Connected(7)
+	if rep.Total != len(initials) || len(rep.Cases) != len(initials) {
+		t.Fatalf("swept %d runs (%d cases), want %d", rep.Total, len(rep.Cases), len(initials))
+	}
+	byStatus := map[sim.Status]int{}
+	for i, c := range initials {
+		res := sim.Run(core.Gatherer{}, c, sim.Options{DetectCycles: true, StopOnDisconnect: true})
+		byStatus[res.Status]++
+		got := rep.Cases[i]
+		if !got.Initial.Equal(c) || got.Status != res.Status || got.Rounds != res.Rounds || got.Moves != res.Moves {
+			t.Fatalf("case %d diverges from serial reference: sweep %v/%d/%d serial %v/%d/%d on %s",
+				i, got.Status, got.Rounds, got.Moves, res.Status, res.Rounds, res.Moves, c.Key())
+		}
+	}
+	if !reflect.DeepEqual(rep.ByStatus, byStatus) {
+		t.Fatalf("status counts diverge: sweep %v serial %v", rep.ByStatus, byStatus)
+	}
+	if !rep.AllGathered() {
+		t.Fatalf("Theorem 2 sweep did not fully gather: %s", rep)
+	}
+}
+
+// TestVerifyShimMatchesSweep pins the compatibility shim: an
+// exhaustive.Verify report must equal the sweep.Run report it is built
+// from, case for case, at n = 7.
+func TestVerifyShimMatchesSweep(t *testing.T) {
+	legacy := exhaustive.Verify(core.Gatherer{}, exhaustive.Options{})
+	rep, err := sweep.Run(context.Background(), sweep.Spec{KeepCases: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Algorithm != rep.Algorithm || legacy.Total != rep.Total ||
+		legacy.MaxRounds != rep.MaxRounds || legacy.MeanRounds != rep.MeanRounds ||
+		legacy.MaxMoves != rep.MaxMoves || legacy.MeanMoves != rep.MeanMoves {
+		t.Fatalf("aggregates diverge:\nshim  %s\nsweep %s", legacy, rep)
+	}
+	if !reflect.DeepEqual(legacy.ByStatus, rep.ByStatus) {
+		t.Fatalf("status counts diverge: %v vs %v", legacy.ByStatus, rep.ByStatus)
+	}
+	if len(legacy.Cases) != len(rep.Cases) {
+		t.Fatalf("case counts diverge: %d vs %d", len(legacy.Cases), len(rep.Cases))
+	}
+	for i := range legacy.Cases {
+		l, s := legacy.Cases[i], rep.Cases[i]
+		if !l.Initial.Equal(s.Initial) || l.Status != s.Status || l.Rounds != s.Rounds || l.Moves != s.Moves {
+			t.Fatalf("case %d diverges between shim and sweep", i)
+		}
+	}
+}
+
+// TestStreamConstantMemoryN8 streams the full 16689-pattern n = 8
+// sweep with KeepCases off: nothing may be retained, delivery must be
+// in index order, and the reorder buffer's high-water mark must be
+// bounded by the worker count — O(workers) configurations regardless
+// of sweep size, the constant-memory claim of the package.
+func TestStreamConstantMemoryN8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full n=8 sweep in -short mode")
+	}
+	const workers = 8
+	next := 0
+	rep, err := sweep.Stream(context.Background(), sweep.Spec{N: 8, Workers: workers},
+		func(c sweep.CaseResult) error {
+			if c.Index != next {
+				return errors.New("out-of-order delivery")
+			}
+			next++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cases != nil {
+		t.Fatalf("KeepCases off but %d cases retained", len(rep.Cases))
+	}
+	if next != enumerate.KnownCounts[8] || rep.Total != next {
+		t.Fatalf("visited %d runs, want %d", next, enumerate.KnownCounts[8])
+	}
+	// Completion can outrun in-order delivery by at most the dispatch
+	// window (4 × workers), so the pending map is O(workers) however
+	// large the sweep.
+	if limit := 4 * workers; rep.PeakPending > limit {
+		t.Fatalf("reorder buffer peaked at %d results, want O(workers) ≤ %d", rep.PeakPending, limit)
+	}
+}
+
+// TestVisitorErrorCancelsSweep checks that a visitor error aborts the
+// sweep and surfaces as the returned error.
+func TestVisitorErrorCancelsSweep(t *testing.T) {
+	boom := errors.New("boom")
+	seen := 0
+	_, err := sweep.Stream(context.Background(), sweep.Spec{N: 6}, func(sweep.CaseResult) error {
+		seen++
+		if seen == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("visitor error not returned: %v", err)
+	}
+	if seen != 10 {
+		t.Fatalf("visitor called %d times after erroring at 10", seen)
+	}
+}
+
+// TestContextCancellation cancels a sweep mid-flight and requires a
+// prompt error return with no goroutines left behind (the race leg
+// runs this too).
+func TestContextCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	delivered := 0
+	start := time.Now()
+	_, err := sweep.Stream(ctx, sweep.Spec{N: 7}, func(sweep.CaseResult) error {
+		delivered++
+		if delivered == 50 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+	if took := time.Since(start); took > 10*time.Second {
+		t.Fatalf("cancelled sweep took %s to return", took)
+	}
+	// The worker pool drains asynchronously after Stream returns; give
+	// it a moment, then require the goroutine count back at baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked: %d before, %d after cancellation", before, now)
+	}
+	cancel()
+}
+
+// TestSSYNCDeterministicAcrossWorkers runs the same seeded SSYNC
+// robustness sweep with one worker and with many and requires
+// bit-identical reports — cases, aggregates, robustness histogram.
+// Per-run schedulers are rebuilt from their seed, and aggregation is
+// in-order, so worker scheduling must not be observable.
+func TestSSYNCDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *sweep.Report {
+		rep, err := sweep.Run(context.Background(), sweep.Spec{
+			N:         6,
+			Scheduler: sweep.SSYNC,
+			Seeds:     sweep.SeedRange(1, 4),
+			MaxRounds: 5000,
+			Workers:   workers,
+			KeepCases: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.PeakPending = 0 // scheduling-dependent diagnostics, not results
+		return rep
+	}
+	one := run(1)
+	many := run(7)
+	if one.Total != enumerate.KnownCounts[6]*4 {
+		t.Fatalf("swept %d runs, want %d", one.Total, enumerate.KnownCounts[6]*4)
+	}
+	if !reflect.DeepEqual(one, many) {
+		t.Fatalf("seeded SSYNC sweep differs across worker counts:\n1 worker:  %s\n7 workers: %s", one, many)
+	}
+	sum := 0
+	for _, c := range one.Robust {
+		sum += c
+	}
+	if sum != one.Patterns {
+		t.Fatalf("robustness histogram sums to %d patterns, want %d", sum, one.Patterns)
+	}
+}
+
+// TestClassify pins the failure-taxonomy encoding.
+func TestClassify(t *testing.T) {
+	line := config.Line(grid.Origin, grid.E, 5)
+	cl := sweep.Classify(line, sim.Livelock)
+	if cl.Status != sim.Livelock || cl.Diameter != 4 {
+		t.Fatalf("Classify = %+v, want livelock at diameter 4", cl)
+	}
+	if got := cl.String(); got != "livelock/d4" {
+		t.Fatalf("Class.String() = %q", got)
+	}
+	txt, err := cl.MarshalText()
+	if err != nil || string(txt) != "livelock/d4" {
+		t.Fatalf("MarshalText = %q, %v", txt, err)
+	}
+}
+
+// TestSources checks the three Source constructors: counts, labels,
+// ordering, and that a list source feeds the sweep as-is.
+func TestSources(t *testing.T) {
+	conn := sweep.Connected(5)
+	if conn.Count() != enumerate.KnownCounts[5] || conn.Label() != "connected(5)" {
+		t.Fatalf("Connected(5): count %d label %q", conn.Count(), conn.Label())
+	}
+	within := sweep.ConnectedWithin(4, 2)
+	if got, want := within.Count(), len(enumerate.ConnectedWithin(4, 2)); got != want {
+		t.Fatalf("ConnectedWithin(4,2): count %d, want %d", got, want)
+	}
+	prev := -1
+	conn.Each(func(i int, c config.Config) bool {
+		if i != prev+1 || c.Len() != 5 {
+			t.Fatalf("Each yielded index %d after %d (len %d)", i, prev, c.Len())
+		}
+		prev = i
+		return true
+	})
+
+	list := enumerate.Connected(3)[:4]
+	rep, err := sweep.Run(context.Background(), sweep.Spec{
+		N:      3,
+		Alg:    core.ThreeGatherer{},
+		Source: sweep.Patterns(list...),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Patterns != 4 || rep.Source != "list(4)" || !rep.AllGathered() {
+		t.Fatalf("list sweep: %s", rep)
+	}
+}
