@@ -1,0 +1,157 @@
+// Command adversary computes the exact SSYNC defeatable set
+// (experiment E13): for every initial pattern of a sweep space it
+// decides — heuristic damage-seeking schedulers first, the memoized
+// safety-game solver for whatever they cannot defeat — whether some
+// activation schedule prevents gathering, and streams one JSONL
+// verdict per pattern to stdout. Every defeatable verdict carries a
+// replayable witness schedule (activation subsets, round by round,
+// prefix + forever-looped cycle) that has already been re-simulated
+// through the ordinary sched/sim machinery and confirmed
+// non-gathering.
+//
+// The default invocation is the headline E13 run:
+//
+//	adversary -n 7
+//
+// decides all 3652 connected 7-robot patterns (seconds). The summary
+// — the exact defeatable count, the CENT round-robin 166 being a
+// lower bound — goes to stderr so stdout stays machine-parseable.
+//
+//	-n N              decide every connected N-robot pattern
+//	-alg A            algorithm under attack (full, no-table,
+//	                  no-reconstruction, paper, three, idle, greedy)
+//	-heuristics-only  skip the exact solver: report only what the
+//	                  cheap schedulers defeat (verdict "undecided"
+//	                  for the rest; the E13 bench measures this pass)
+//	-no-heuristics    exact solver only (every witness then carries
+//	                  method "solver")
+//	-heuristic-rounds R   round budget per heuristic probe
+//	-no-witness       omit the witness schedules from the JSONL
+//	                  (verdict lines only)
+//	-progress         report progress on stderr
+//
+// Exit status: 0 when every pattern was decided (defeats are the
+// result, not a failure), 2 on usage or internal errors — including a
+// witness that fails its replay confirmation, which would mean the
+// solver and the simulator disagree on the game's dynamics.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/sweep"
+)
+
+// verdictLine is the JSONL schema: one line per pattern. Prefix/Cycle
+// are the witness schedule — each entry one round's activated indices
+// into the round's sorted node list (the sched.Scheduler contract);
+// replaying Prefix then Cycle forever is the defeating schedule.
+type verdictLine struct {
+	Pattern int     `json:"pattern"`
+	Initial string  `json:"initial"`
+	Verdict string  `json:"verdict"`          // defeatable | safe | undecided
+	Method  string  `json:"method"`           // solver | heuristic:<name> | heuristics
+	Kind    string  `json:"kind,omitempty"`   // cycle | collision | disconnection | stall
+	Replay  string  `json:"replay,omitempty"` // confirmed replay status of the witness
+	Depth   int     `json:"depth,omitempty"`  // strategy length: prefix + one cycle lap
+	States  int     `json:"states,omitempty"` // new solver states explored for this pattern
+	Prefix  [][]int `json:"prefix,omitempty"` // witness stem (may be empty for immediate cycles)
+	Cycle   [][]int `json:"cycle,omitempty"`  // witness loop, replayed forever
+}
+
+func main() {
+	algName := flag.String("alg", "full", "algorithm under attack (full, no-table, no-reconstruction, paper, three, idle, greedy)")
+	n := flag.Int("n", 7, "robot count: decide every connected n-robot pattern")
+	heuristicsOnly := flag.Bool("heuristics-only", false, "skip the exact solver (cheap pre-filter pass only)")
+	noHeuristics := flag.Bool("no-heuristics", false, "skip the heuristic pre-filters (exact solver only)")
+	heuristicRounds := flag.Int("heuristic-rounds", 0, "round budget per heuristic probe (0 = default)")
+	noWitness := flag.Bool("no-witness", false, "omit witness schedules from the JSONL output")
+	progress := flag.Bool("progress", false, "report progress on stderr")
+	flag.Parse()
+
+	alg, err := core.ByName(*algName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adversary: %v\n", err)
+		os.Exit(2)
+	}
+	if *heuristicsOnly && *noHeuristics {
+		fmt.Fprintln(os.Stderr, "adversary: -heuristics-only and -no-heuristics are mutually exclusive")
+		os.Exit(2)
+	}
+
+	spec := sweep.Spec{
+		N:   *n,
+		Alg: alg,
+		Adversary: &adversary.Options{
+			Alg:             alg,
+			HeuristicsOnly:  *heuristicsOnly,
+			NoHeuristics:    *noHeuristics,
+			HeuristicRounds: *heuristicRounds,
+		},
+	}
+	if *progress {
+		spec.Progress = func(done, total int) {
+			if done%500 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "adversary: %d/%d patterns\r", done, total)
+			}
+		}
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	enc := json.NewEncoder(out)
+	visit := func(c sweep.CaseResult) error {
+		v := c.Verdict
+		line := verdictLine{
+			Pattern: c.Pattern,
+			Initial: c.Initial.Key(),
+			Verdict: v.Kind.String(),
+			Method:  v.Method,
+			Depth:   v.Depth,
+			States:  v.States,
+		}
+		if w := v.Witness; w != nil {
+			line.Kind = w.Kind.String()
+			line.Replay = v.ReplayStatus.String()
+			if !*noWitness {
+				line.Prefix = w.Prefix
+				line.Cycle = w.Cycle
+			}
+		}
+		return enc.Encode(line)
+	}
+
+	report, err := sweep.Stream(context.Background(), spec, visit)
+	if ferr := out.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adversary: %v\n", err)
+		os.Exit(2)
+	}
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	fmt.Fprintf(os.Stderr, "adversary: n=%d, %s: %d/%d defeatable, %d safe",
+		report.Robots, report.Algorithm, report.Defeatable, report.Patterns, report.SafePatterns)
+	if report.Undecided > 0 {
+		fmt.Fprintf(os.Stderr, ", %d undecided (heuristics only)", report.Undecided)
+	}
+	fmt.Fprintf(os.Stderr, "; game states %d, max strategy depth %d; every witness replay confirmed non-gathering\n",
+		report.SolverStates, report.MaxWitnessDepth)
+	methods := make([]string, 0, len(report.ByMethod))
+	for m := range report.ByMethod {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+	for _, m := range methods {
+		fmt.Fprintf(os.Stderr, "adversary:   %-28s %d\n", m, report.ByMethod[m])
+	}
+}

@@ -2,23 +2,34 @@
 // BENCH_<sha>.json trajectory format and gates benchmark regressions
 // against a committed baseline.
 //
-// The CI bench job pipes the full E1–E11 battery (run with
+// The CI bench job pipes the full E1–E13 battery (run with
 // `-benchtime=1x -benchmem`) through it twice: once with -out to
 // produce the per-commit JSON artifact, once with -baseline/-gate to
 // fail the job when a gated benchmark's ns/op regressed beyond its
 // allowance versus bench/baseline.json. Refreshing the baseline is a
 // one-liner on the reference machine:
 //
-//	go test -run=NONE -bench=. -benchtime=1x -benchmem . | benchjson -out bench/baseline.json
+//	go test -run=NONE -bench=. -benchtime=1x -benchmem . | benchjson -write-baseline bench/baseline.json
+//
+// -write-baseline merges the current run into an existing baseline
+// file instead of replacing it wholesale: benchmarks present in the
+// run overwrite their baseline entries in place, new benchmarks are
+// appended, and entries for benchmarks the run did not exercise are
+// kept — so a partial battery (one new experiment, say) refreshes
+// only what it measured. The CI baseline-refresh job runs it on every
+// trusted main-branch push and uploads the merged file as the
+// `bench-baseline` artifact; committing that artifact as
+// bench/baseline.json is the documented refresh path.
 //
 // Usage:
 //
 //	benchjson [-in bench.txt] [-commit sha] [-out BENCH_sha.json]
 //	          [-baseline bench/baseline.json]
 //	          [-gate "BenchmarkE2:30,BenchmarkE3:30"]
+//	          [-write-baseline bench/baseline.json]
 //
-// With no -in, input is read from stdin; -out and -baseline/-gate may
-// be combined in one invocation. Gate entries are
+// With no -in, input is read from stdin; -out, -baseline/-gate and
+// -write-baseline may be combined in one invocation. Gate entries are
 // name-prefix:percent[:unit] triples; unit defaults to ns/op and may
 // name any reported metric ("allocs/op" gates allocation regressions,
 // which are machine-independent and therefore tighter signals than
@@ -204,12 +215,55 @@ func gate(cur, base *File, spec string) error {
 	return nil
 }
 
+// merge folds the current run into a baseline file: entries sharing a
+// name are replaced in place, new ones appended, unexercised baseline
+// entries kept. Header fields (commit, goos, goarch, cpu) come from
+// the current run. The result is what the file would look like after
+// rerunning only the benchmarks the current input contains.
+func merge(base, cur *File) *File {
+	out := &File{Commit: cur.Commit, Goos: cur.Goos, Goarch: cur.Goarch, CPU: cur.CPU}
+	// A partial run may lack header lines (-commit unset, filtered
+	// input); keep the baseline's provenance rather than erasing it.
+	if out.Commit == "" {
+		out.Commit = base.Commit
+	}
+	if out.Goos == "" {
+		out.Goos = base.Goos
+	}
+	if out.Goarch == "" {
+		out.Goarch = base.Goarch
+	}
+	if out.CPU == "" {
+		out.CPU = base.CPU
+	}
+	fresh := make(map[string]*Benchmark, len(cur.Benchmarks))
+	for i := range cur.Benchmarks {
+		fresh[cur.Benchmarks[i].Name] = &cur.Benchmarks[i]
+	}
+	used := make(map[string]bool, len(fresh))
+	for _, b := range base.Benchmarks {
+		if nb, ok := fresh[b.Name]; ok {
+			out.Benchmarks = append(out.Benchmarks, *nb)
+			used[b.Name] = true
+		} else {
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+	}
+	for _, b := range cur.Benchmarks {
+		if !used[b.Name] {
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+	}
+	return out
+}
+
 func main() {
 	in := flag.String("in", "", "benchmark output file (default stdin)")
 	out := flag.String("out", "", "write parsed results as JSON to this file")
 	commit := flag.String("commit", "", "commit SHA recorded in the JSON")
 	baseline := flag.String("baseline", "", "baseline JSON to gate against")
 	gateSpec := flag.String("gate", "", "comma-separated name-prefix:max-regress-percent entries")
+	writeBaseline := flag.String("write-baseline", "", "merge the current run into this baseline file (missing file = fresh baseline)")
 	flag.Parse()
 
 	r := io.Reader(os.Stdin)
@@ -241,6 +295,9 @@ func main() {
 		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(cur.Benchmarks))
 	}
 
+	// Gate before any baseline write: the two flags may name the same
+	// file, and a failing run must not launder its regressed numbers
+	// into the baseline it was just gated against.
 	if *gateSpec != "" {
 		if *baseline == "" {
 			fmt.Fprintln(os.Stderr, "benchjson: -gate requires -baseline")
@@ -260,5 +317,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	if *writeBaseline != "" {
+		merged := cur
+		if data, err := os.ReadFile(*writeBaseline); err == nil {
+			var base File
+			if err := json.Unmarshal(data, &base); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad baseline %s: %v\n", *writeBaseline, err)
+				os.Exit(2)
+			}
+			merged = merge(&base, cur)
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		data, err := json.MarshalIndent(merged, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*writeBaseline, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("merged %d benchmarks into baseline %s (%d total)\n",
+			len(cur.Benchmarks), *writeBaseline, len(merged.Benchmarks))
 	}
 }

@@ -97,3 +97,45 @@ func TestGateMetricUnit(t *testing.T) {
 		t.Errorf("missing unit wedged the gate: %v", err)
 	}
 }
+
+func TestMerge(t *testing.T) {
+	base := &File{
+		Commit: "old", CPU: "ref-machine",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", NsPerOp: 100},
+			{Name: "BenchmarkB", NsPerOp: 200},
+		},
+	}
+	cur := &File{
+		Commit: "new", CPU: "runner",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkB", NsPerOp: 250}, // refreshed in place
+			{Name: "BenchmarkC", NsPerOp: 300}, // appended
+		},
+	}
+	m := merge(base, cur)
+	if m.Commit != "new" || m.CPU != "runner" {
+		t.Fatalf("header not taken from current run: %+v", m)
+	}
+	if len(m.Benchmarks) != 3 {
+		t.Fatalf("merged %d benchmarks, want 3", len(m.Benchmarks))
+	}
+	want := []struct {
+		name string
+		ns   float64
+	}{{"BenchmarkA", 100}, {"BenchmarkB", 250}, {"BenchmarkC", 300}}
+	for i, w := range want {
+		if m.Benchmarks[i].Name != w.name || m.Benchmarks[i].NsPerOp != w.ns {
+			t.Fatalf("entry %d: %s %.0f, want %s %.0f",
+				i, m.Benchmarks[i].Name, m.Benchmarks[i].NsPerOp, w.name, w.ns)
+		}
+	}
+	// A headerless partial run keeps the baseline's provenance.
+	m = merge(base, &File{Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 110}}})
+	if m.Commit != "old" || m.CPU != "ref-machine" {
+		t.Fatalf("headerless merge erased provenance: %+v", m)
+	}
+	if m.Benchmarks[0].NsPerOp != 110 || len(m.Benchmarks) != 2 {
+		t.Fatalf("headerless merge mishandled entries: %+v", m.Benchmarks)
+	}
+}

@@ -83,19 +83,5 @@ func pickInitial(preset, key string) (config.Config, error) {
 }
 
 func pickAlgorithm(name string) (core.Algorithm, error) {
-	switch name {
-	case "full":
-		return core.Gatherer{}, nil
-	case "no-table":
-		return core.Gatherer{Variant: core.VariantNoTable}, nil
-	case "no-reconstruction":
-		return core.Gatherer{Variant: core.VariantNoReconstruction}, nil
-	case "paper":
-		return core.Gatherer{Variant: core.VariantPaper}, nil
-	case "idle":
-		return core.Idle{}, nil
-	case "greedy":
-		return core.GreedyEast{}, nil
-	}
-	return nil, fmt.Errorf("gather: unknown algorithm %q", name)
+	return core.ByName(name)
 }

@@ -14,8 +14,11 @@
 //	-range R      relax the space to visibility-R-connected patterns
 //	              (E9: -range 2; the full n = 7 range-2 space is ≈2.6 M
 //	              patterns, swept with constant memory)
-//	-sched S      fsync (default), ssync (seeded random subsets), or
-//	              cent (round-robin centralized adversary)
+//	-sched S      fsync (default), ssync (seeded random subsets),
+//	              cent (round-robin centralized adversary), or adv
+//	              (exact adversarial decision per pattern — the
+//	              internal/adversary safety-game solver with heuristic
+//	              pre-filters; E13: -sched adv)
 //	-seeds M      run each pattern under M activation schedules
 //	              (seeds 1..M); the report aggregates per-pattern
 //	              robustness (E12: -sched ssync -seeds 32)
@@ -28,9 +31,15 @@
 // Usage:
 //
 //	verify [-alg full|no-table|no-reconstruction|paper|three|idle|greedy]
-//	       [-n 7] [-range 1] [-sched fsync|ssync|cent] [-seeds 1]
+//	       [-n 7] [-range 1] [-sched fsync|ssync|cent|adv] [-seeds 1]
 //	       [-max-rounds N] [-workers N] [-stats] [-classes]
 //	       [-json] [-cases out.jsonl] [-allow-failures] [-progress]
+//
+// Exit status: 0 when every run gathered (every pattern safe, for
+// -sched adv) or -allow-failures was given; 1 when the sweep completed
+// but some run did not gather (some pattern defeatable); 2 on usage or
+// internal errors. Diagnostics and -progress go to stderr — stdout
+// carries only the report (and is machine-parseable under -json).
 package main
 
 import (
@@ -42,13 +51,16 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
 
-// caseLine is the JSONL schema of -cases: one line per run.
+// caseLine is the JSONL schema of -cases: one line per run. The
+// verdict fields are set only by -sched adv (full witness schedules
+// stream from cmd/adversary, which owns the richer format).
 type caseLine struct {
 	Index   int    `json:"index"`
 	Pattern int    `json:"pattern"`
@@ -58,13 +70,15 @@ type caseLine struct {
 	Rounds  int    `json:"rounds"`
 	Moves   int    `json:"moves"`
 	Class   string `json:"class,omitempty"`
+	Verdict string `json:"verdict,omitempty"`
+	Method  string `json:"method,omitempty"`
 }
 
 func main() {
 	algName := flag.String("alg", "full", "algorithm (full, no-table, no-reconstruction, paper, three, idle, greedy)")
 	n := flag.Int("n", 7, "robot count: sweep every connected n-robot pattern")
 	visRange := flag.Int("range", 1, "connectivity relaxation: sweep visibility-R-connected patterns (1 = adjacency, the paper's space)")
-	schedName := flag.String("sched", "fsync", "scheduler: fsync, ssync, cent")
+	schedName := flag.String("sched", "fsync", "scheduler: fsync, ssync, cent, adv (exact adversarial decision)")
 	seeds := flag.Int("seeds", 1, "activation schedules per pattern (ssync robustness axis; seeds 1..M)")
 	maxRounds := flag.Int("max-rounds", 0, "round budget per run (0 = default)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -74,26 +88,40 @@ func main() {
 	casesPath := flag.String("cases", "", "stream per-run results to this file as JSON lines")
 	allowFailures := flag.Bool("allow-failures", false, "exit 0 even when the sweep does not fully gather")
 	progress := flag.Bool("progress", false, "report sweep progress on stderr")
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), `usage: verify [flags]
+
+Runs the gathering algorithm from every initial pattern of a sweep
+space and reports the aggregated outcome table (the paper's Theorem 2
+evaluation and its extensions).
+
+Schedulers (-sched):
+  fsync   all robots every round — the paper's model (default)
+  ssync   seeded random activation subsets; -seeds M runs each pattern
+          under M schedules (E12)
+  cent    centralized round-robin adversary, one robot per round
+  adv     exact adversarial decision per pattern: the safety-game
+          solver of internal/adversary, heuristic pre-filters first
+          (E13); defeated patterns report their witness kind
+
+Exit status:
+  0  every run gathered (every pattern safe under -sched adv), or
+     -allow-failures was given
+  1  the sweep completed but some run did not gather
+  2  usage or internal error
+
+Diagnostics and -progress write to stderr; stdout carries only the
+report, machine-parseable under -json (per-run JSONL via -cases).
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
-	var alg core.Algorithm
-	switch *algName {
-	case "full":
-		alg = core.Gatherer{}
-	case "no-table":
-		alg = core.Gatherer{Variant: core.VariantNoTable}
-	case "no-reconstruction":
-		alg = core.Gatherer{Variant: core.VariantNoReconstruction}
-	case "paper":
-		alg = core.Gatherer{Variant: core.VariantPaper}
-	case "three":
-		alg = core.ThreeGatherer{}
-	case "idle":
-		alg = core.Idle{}
-	case "greedy":
-		alg = core.GreedyEast{}
-	default:
-		fmt.Fprintf(os.Stderr, "verify: unknown algorithm %q\n", *algName)
+	alg, err := core.ByName(*algName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
 		os.Exit(2)
 	}
 	if *seeds < 1 {
@@ -127,6 +155,35 @@ func main() {
 		spec.Scheduler = sweep.SSYNC
 	case "cent":
 		spec.Scheduler = sweep.CENT
+	case "adv":
+		// Exact per-pattern adversarial decision (E13). The seeds axis
+		// is meaningless (the adversary is universally quantified), the
+		// solver's game treats disconnection as terminal (so the
+		// relaxed range-1-disconnected spaces are out of its domain),
+		// and decisions run single-threaded over one shared memoized
+		// solver (so -workers does not apply). -max-rounds maps onto
+		// the heuristic probe budget.
+		if *seeds > 1 {
+			fmt.Fprintln(os.Stderr, "verify: -sched adv decides all schedules at once; -seeds does not apply")
+			os.Exit(2)
+		}
+		if *visRange > 1 {
+			fmt.Fprintln(os.Stderr, "verify: -sched adv requires the adjacency-connected space (-range 1)")
+			os.Exit(2)
+		}
+		if *workers != 0 {
+			fmt.Fprintln(os.Stderr, "verify: -sched adv runs single-threaded over a shared solver; -workers does not apply")
+			os.Exit(2)
+		}
+		if *stats {
+			// Safe patterns involve no run, so the rounds histogram
+			// would aggregate zeros — reject like the other
+			// inapplicable combinations.
+			fmt.Fprintln(os.Stderr, "verify: -stats does not apply to -sched adv (safe patterns have no run)")
+			os.Exit(2)
+		}
+		// Spec.MaxRounds (from -max-rounds) feeds the probe budget.
+		spec.Adversary = &adversary.Options{Alg: alg}
 	default:
 		fmt.Fprintf(os.Stderr, "verify: unknown scheduler %q\n", *schedName)
 		os.Exit(2)
@@ -169,6 +226,10 @@ func main() {
 			}
 			if c.Status != sim.Gathered {
 				line.Class = c.Class.String()
+			}
+			if c.Verdict != nil {
+				line.Verdict = c.Verdict.Kind.String()
+				line.Method = c.Verdict.Method
 			}
 			return enc.Encode(line)
 		}

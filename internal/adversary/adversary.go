@@ -1,0 +1,352 @@
+// Package adversary decides, exactly, whether an SSYNC adversary can
+// prevent gathering from a given initial pattern — the adversarial
+// counterpart of the probabilistic robustness sweeps (E8/E12), and the
+// subsystem behind experiment E13.
+//
+// # The game
+//
+// One round of SSYNC execution is an adversary move followed by a
+// deterministic algorithm step: the adversary activates any non-empty
+// subset of the robots, each activated robot Looks, Computes and Moves
+// simultaneously, the rest keep their positions. Because the algorithm
+// is oblivious and deterministic, the adversary is the only player —
+// defeasibility is reachability in the directed graph whose vertices
+// are configuration patterns and whose edges are activation choices.
+//
+// Activating a robot whose computed move is "stay" changes nothing, so
+// every activation subset acts exactly like its intersection with the
+// movers (the robots whose Compute returns a step). The solver
+// therefore branches only over the non-empty subsets of the movers —
+// at most 2^n − 1 choices, usually far fewer — which quotients away
+// the no-op rounds an adversary could otherwise waste forever. (An
+// adversary that plays no-ops forever while movers exist starves a
+// robot that wants to move and is trivially unfair; it is excluded by
+// construction.)
+//
+// The adversary wins from a state iff it can force a play that never
+// reaches the gathered goal:
+//
+//   - a collision (§II-A rules) or a disconnection is a terminal
+//     failure — the adversary wins immediately;
+//   - a state with no movers is terminal: the algorithm is stuck, so
+//     the adversary wins iff the state is not gathered (a stall);
+//   - reaching any configuration twice is a win — the adversary
+//     replays the closing segment forever (a forced livelock);
+//   - otherwise the adversary needs some choice whose successor it
+//     wins; the protagonist has no moves, so a state is safe iff
+//     every choice leads to a safe successor.
+//
+// Cycle wins include schedules that permanently starve some movers;
+// whether every such defeat survives a strict per-robot fairness
+// requirement is an open refinement recorded in the ROADMAP (the
+// centralized CENT defeats, which the solver subsumes, are fair, so
+// fairness does not rescue the algorithm wholesale).
+//
+// # Why this is tractable
+//
+// Collisions and disconnections are terminal, so every non-terminal
+// state is a connected pattern of exactly n distinct nodes — for n = 7
+// the entire game graph has at most 3652 vertices. States are keyed by
+// the compact translation-invariant config.Key128 (exact through
+// n = 14; a string fallback keeps larger or wider states correct), and
+// the solver memoizes verdicts across patterns: deciding the whole
+// n = 7 space shares one table, so most of the 3652 root solves are
+// lookups into a game graph already colored.
+//
+// The solver is a three-color DFS: a back edge to a state on the
+// current stack is a forceable cycle (defeat), a terminal failure is a
+// defeat, any defeated successor is a defeat, and a state is safe only
+// when every choice has been shown safe. Each defeated state stores
+// its winning activation subset, so a winning strategy — and from it a
+// concrete witness schedule (Witness) — is read back by walking the
+// stored choices until the play hits a terminal failure or closes a
+// cycle. Witnesses replay through the ordinary sched/sim machinery
+// (Witness.Scheduler is a sched.Scheduler), so every defeat the solver
+// claims is re-simulatable and independently confirmed.
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/sim"
+	"repro/internal/vision"
+)
+
+// MaxRobots is the largest robot count the solver accepts — the
+// config.Key128 exact-key envelope. Past it the state key degrades to
+// strings and, more importantly, the 2^n branching stops being a game
+// anyone should solve exhaustively.
+const MaxRobots = 14
+
+// color is the DFS state of one game vertex.
+type color uint8
+
+const (
+	// unknown: never expanded (the zero value of a fresh state).
+	unknown color = iota
+	// gray: on the current DFS stack; an edge into a gray state is a
+	// back edge, i.e. a forceable cycle.
+	gray
+	// safe: every adversary choice from here leads to gathering.
+	safe
+	// defeated: the adversary wins from here; choice holds the move.
+	defeated
+	// aborted is never stored; it is the in-flight result color when
+	// the state budget is exhausted mid-solve.
+	aborted
+)
+
+// state is one memoized game vertex.
+type state struct {
+	color color
+	// choice is the winning activation subset (a bitmask over the
+	// state's sorted robot indices) when color == defeated. Zero for a
+	// terminal stall (no movers to activate).
+	choice uint16
+}
+
+// Solver decides the safety game for one algorithm and goal. Verdicts
+// are memoized across calls — deciding many patterns of the same space
+// shares one colored game graph — so a Solver is the unit of reuse a
+// sweep should hold on to. It is not safe for concurrent use.
+type Solver struct {
+	alg      core.Algorithm
+	packed   core.PackedAlgorithm
+	packable bool
+	visRange int
+	goal     func(config.Config) bool
+
+	// maxStates bounds the number of distinct game states created; the
+	// n = 7 space has 3652, so the default (DefaultMaxStates) is only a
+	// guard against runaway larger-n solves.
+	maxStates int
+
+	exact   map[config.Key128]*state
+	slow    map[string]*state
+	created int
+}
+
+// DefaultMaxStates bounds solver state creation when Options leave it
+// unset. The full n = 9 connected space is 77359 patterns; 2^22 leaves
+// room far past any workload this repo runs.
+const DefaultMaxStates = 1 << 22
+
+// NewSolver builds a solver for the algorithm under the given goal
+// predicate. A nil goal selects config.GoalFor over each state's robot
+// count (robot count is invariant during a game — collisions are
+// terminal). maxStates <= 0 selects DefaultMaxStates.
+func NewSolver(alg core.Algorithm, goal func(config.Config) bool, maxStates int) *Solver {
+	if alg == nil {
+		alg = core.Gatherer{}
+	}
+	if goal == nil {
+		goal = func(c config.Config) bool { return config.GoalFor(c.Len())(c) }
+	}
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	s := &Solver{
+		alg:       alg,
+		visRange:  alg.VisibilityRange(),
+		goal:      goal,
+		maxStates: maxStates,
+		exact:     make(map[config.Key128]*state),
+		slow:      make(map[string]*state),
+	}
+	if pa, ok := alg.(core.PackedAlgorithm); ok && s.visRange <= vision.MaxPackedRange {
+		s.packed, s.packable = pa, true
+	}
+	return s
+}
+
+// StatesExplored returns the cumulative number of distinct game states
+// created across every solve so far.
+func (s *Solver) StatesExplored() int { return s.created }
+
+// Defeatable decides whether the adversary wins from the initial
+// configuration. It errors on inputs outside the game's domain: more
+// than MaxRobots robots, a disconnected initial pattern (the paper's
+// space is adjacency-connected; disconnection inside a game is a
+// terminal failure, but a run cannot meaningfully start there), or a
+// solve that exhausts the state budget.
+func (s *Solver) Defeatable(initial config.Config) (bool, error) {
+	if initial.Len() == 0 || initial.Len() > MaxRobots {
+		return false, fmt.Errorf("adversary: %d robots outside the solver envelope [1,%d]", initial.Len(), MaxRobots)
+	}
+	if !initial.Connected() {
+		return false, fmt.Errorf("adversary: initial pattern %s is disconnected", initial.Key())
+	}
+	nodes := initial.Nodes()
+	st := s.state(nodes)
+	c := st.color
+	if c == unknown {
+		c = s.solve(nodes, st)
+	}
+	switch c {
+	case safe:
+		return false, nil
+	case defeated:
+		return true, nil
+	case aborted:
+		return false, fmt.Errorf("adversary: state budget (%d) exhausted solving %s", s.maxStates, initial.Key())
+	}
+	return false, fmt.Errorf("adversary: internal: unresolved color %d for %s", c, initial.Key())
+}
+
+// state returns the memo entry for a sorted node list, creating an
+// unknown-colored one on first sight.
+func (s *Solver) state(nodes []grid.Coord) *state {
+	if k, ok := config.Key128Nodes(nodes); ok {
+		st := s.exact[k]
+		if st == nil {
+			st = &state{}
+			s.exact[k] = st
+			s.created++
+		}
+		return st
+	}
+	k := config.New(nodes...).Key()
+	st := s.slow[k]
+	if st == nil {
+		st = &state{}
+		s.slow[k] = st
+		s.created++
+	}
+	return st
+}
+
+// moveFor is the single Look-Compute step of the game dynamics, shared
+// by the solver and the heuristic schedulers so they cannot drift
+// apart: the packed fast path when the algorithm supports it, the
+// map-based View otherwise. cfg is consulted only on the unpacked
+// path (callers on the packed path may pass the zero Config); nodes
+// must be sorted by Q then R.
+func moveFor(alg core.Algorithm, packed core.PackedAlgorithm, packable bool, visRange int, cfg config.Config, nodes []grid.Coord, pos grid.Coord) core.Move {
+	if packable {
+		pv, _ := vision.LookPackedSorted(nodes, pos, visRange) // range checked at construction
+		return packed.ComputePacked(pv)
+	}
+	return alg.Compute(vision.Look(cfg, pos, visRange))
+}
+
+// expand computes the per-robot decisions of a state: the move of each
+// robot and the bitmask of movers. nodes must be sorted by Q then R.
+func (s *Solver) expand(cfg config.Config, nodes []grid.Coord, moves []core.Move) (movers uint16) {
+	for i, pos := range nodes {
+		m := moveFor(s.alg, s.packed, s.packable, s.visRange, cfg, nodes, pos)
+		moves[i] = m
+		if m.IsMove() {
+			movers |= 1 << uint(i)
+		}
+	}
+	return movers
+}
+
+// stepOutcome classifies one adversary move's immediate effect.
+type stepOutcome uint8
+
+const (
+	stepOK stepOutcome = iota
+	stepCollision
+	stepDisconnected
+)
+
+// applySubset executes one adversary move: the robots in sub (a bitmask
+// over sorted node indices, sub ⊆ movers) step simultaneously, the rest
+// stay. It returns the successor configuration and whether the move hit
+// a terminal failure instead.
+func applySubset(nodes []grid.Coord, moves []core.Move, sub uint16) (config.Config, stepOutcome) {
+	var targets [MaxRobots]grid.Coord
+	var moving [MaxRobots]bool
+	for i, pos := range nodes {
+		if sub&(1<<uint(i)) != 0 {
+			targets[i] = moves[i].Apply(pos)
+			moving[i] = true
+		} else {
+			targets[i] = pos
+			moving[i] = false
+		}
+	}
+	if coll := sim.DetectCollisionSorted(nodes, targets[:len(nodes)], moving[:len(nodes)]); coll != nil {
+		return config.Config{}, stepCollision
+	}
+	next := config.New(targets[:len(nodes)]...)
+	if !next.Connected() {
+		return next, stepDisconnected
+	}
+	return next, stepOK
+}
+
+// solve colors the state by depth-first search. On entry st is unknown;
+// on return it is safe or defeated — or back to unknown when the result
+// is aborted (budget exhausted), so a later, larger-budget solve can
+// retry. Recursion depth is bounded by the number of states (3652 for
+// the full n = 7 game), well within Go's growable stacks.
+func (s *Solver) solve(nodes []grid.Coord, st *state) color {
+	if s.created > s.maxStates {
+		return aborted
+	}
+	st.color = gray
+	n := len(nodes)
+	// On the packed path the Config is consulted only at terminal
+	// no-mover states (the goal check), so defer building it — one
+	// fewer O(n) allocation per explored state.
+	var cfg config.Config
+	if !s.packable {
+		cfg = config.New(nodes...)
+	}
+	var moves [MaxRobots]core.Move
+	movers := s.expand(cfg, nodes, moves[:n])
+	if movers == 0 {
+		// Terminal: no activation changes anything. Gathered is the
+		// protagonist's goal; anything else is a stall the adversary
+		// holds forever (activating everyone each round keeps even a
+		// per-robot fairness requirement satisfied).
+		if s.packable {
+			cfg = config.New(nodes...)
+		}
+		if s.goal(cfg) {
+			st.color = safe
+		} else {
+			st.color, st.choice = defeated, 0
+		}
+		return st.color
+	}
+	// Enumerate the non-empty subsets of the movers (standard submask
+	// walk, descending from the full mover set — so the FSYNC-like
+	// full activation, which usually heads straight to gathering, is
+	// explored first and safe regions close quickly).
+	for sub := movers; sub != 0; sub = (sub - 1) & movers {
+		next, outcome := applySubset(nodes, moves[:n], sub)
+		if outcome != stepOK {
+			// Collision or disconnection: terminal failure, adversary wins.
+			st.color, st.choice = defeated, sub
+			return defeated
+		}
+		cnodes := next.AppendNodes(make([]grid.Coord, 0, n))
+		cst := s.state(cnodes)
+		cc := cst.color
+		if cc == unknown {
+			cc = s.solve(cnodes, cst)
+		}
+		switch cc {
+		case gray:
+			// Back edge: this state sits on a cycle the adversary can
+			// replay forever. The defeat propagates up the stack to
+			// every state on the cycle as the recursion unwinds.
+			st.color, st.choice = defeated, sub
+			return defeated
+		case defeated:
+			st.color, st.choice = defeated, sub
+			return defeated
+		case aborted:
+			st.color = unknown
+			return aborted
+		}
+	}
+	st.color = safe
+	return safe
+}

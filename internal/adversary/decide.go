@@ -1,0 +1,260 @@
+package adversary
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Options configure an Adversary decision pipeline.
+type Options struct {
+	// Alg is the algorithm under attack. Default core.Gatherer{}.
+	Alg core.Algorithm
+	// Goal overrides the gathering predicate. Nil selects
+	// config.GoalFor over each pattern's robot count.
+	Goal func(config.Config) bool
+	// HeuristicsOnly skips the exact solver: patterns the heuristic
+	// schedulers cannot defeat come back Undecided instead of Safe.
+	// This is the cheap pre-filter pass benchmarked as E13's search
+	// stage.
+	HeuristicsOnly bool
+	// NoHeuristics skips the pre-filters and sends every pattern
+	// straight to the exact solver (witnesses then always carry
+	// Method "solver" — useful for tests and strategy-depth studies).
+	NoHeuristics bool
+	// HeuristicRounds bounds each heuristic probe run. Default 128:
+	// heuristic defeats close their cycles within tens of rounds (on
+	// the full n = 7 space the 128-round yield is identical to 512's),
+	// and a longer budget only prolongs the probes that gather.
+	HeuristicRounds int
+	// MaxStates bounds solver state creation (DefaultMaxStates if 0).
+	MaxStates int
+}
+
+// VerdictKind is the per-pattern outcome of a decision.
+type VerdictKind uint8
+
+const (
+	// Defeatable: a verified witness schedule prevents gathering.
+	Defeatable VerdictKind = iota
+	// Safe: the exact solver proved every activation schedule (that
+	// keeps making progress) gathers.
+	Safe
+	// Undecided: heuristics-only mode failed to defeat the pattern;
+	// no exact claim is made.
+	Undecided
+)
+
+var verdictNames = [...]string{Defeatable: "defeatable", Safe: "safe", Undecided: "undecided"}
+
+// String returns the lowercase verdict name.
+func (k VerdictKind) String() string {
+	if int(k) < len(verdictNames) {
+		return verdictNames[k]
+	}
+	return fmt.Sprintf("VerdictKind(%d)", uint8(k))
+}
+
+// MarshalText renders the verdict name.
+func (k VerdictKind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// Verdict is one pattern's decision.
+type Verdict struct {
+	// Kind is the outcome; Witness is non-nil exactly for Defeatable.
+	Kind    VerdictKind
+	Witness *Witness
+	// Method says what decided the pattern: "solver", or
+	// "heuristic:<scheduler name>" for a pre-filter defeat;
+	// "heuristics" for an Undecided heuristics-only pass.
+	Method string
+	// Depth is the witness strategy length (prefix + one cycle lap).
+	Depth int
+	// States is the number of new game states the exact solver
+	// explored deciding this pattern (0 when a heuristic decided it
+	// first); with the shared memo, later patterns reuse earlier
+	// patterns' states, so the sum over a sweep is the size of the
+	// explored game graph.
+	States int
+	// ReplayStatus, ReplayRounds and ReplayMoves record the verified
+	// witness replay through sched.Run (for Defeatable): the concrete
+	// failure status (livelock, round-limit, collision, disconnected,
+	// stalled) and the rounds and robot steps it ran.
+	ReplayStatus sim.Status
+	ReplayRounds int
+	ReplayMoves  int
+}
+
+// Adversary is the decision pipeline: cheap heuristic schedulers
+// first, the exact memoized safety-game solver for whatever they
+// cannot defeat. It keeps one solver (and its colored game graph)
+// across calls, so deciding a whole pattern space shares all state.
+// Not safe for concurrent use; the sweep integration runs it
+// single-threaded, which also keeps per-pattern States deterministic.
+type Adversary struct {
+	opts       Options
+	solver     *Solver
+	heuristics []sched.ConfigScheduler
+}
+
+// New builds a decision pipeline from the options.
+func New(opts Options) *Adversary {
+	if opts.Alg == nil {
+		opts.Alg = core.Gatherer{}
+	}
+	if opts.HeuristicRounds <= 0 {
+		opts.HeuristicRounds = 128
+	}
+	a := &Adversary{opts: opts}
+	if !opts.NoHeuristics {
+		a.heuristics = Heuristics(opts.Alg)
+	}
+	if !opts.HeuristicsOnly {
+		a.solver = NewSolver(opts.Alg, opts.Goal, opts.MaxStates)
+	}
+	return a
+}
+
+// StatesExplored returns the cumulative size of the solver's explored
+// game graph (0 in heuristics-only mode).
+func (a *Adversary) StatesExplored() int {
+	if a.solver == nil {
+		return 0
+	}
+	return a.solver.StatesExplored()
+}
+
+// Decide decides one pattern. Every Defeatable verdict carries a
+// witness already re-simulated through sched.Run and confirmed
+// non-gathering; a witness that fails that confirmation is an error
+// (it would mean the solver and the simulator disagree on the game's
+// dynamics).
+func (a *Adversary) Decide(initial config.Config) (Verdict, error) {
+	// Enforce the game's domain up front, whichever method ends up
+	// deciding: the solver envelope and the adjacency-connected space.
+	if initial.Len() == 0 || initial.Len() > MaxRobots {
+		return Verdict{}, fmt.Errorf("adversary: %d robots outside the solver envelope [1,%d]", initial.Len(), MaxRobots)
+	}
+	if !initial.Connected() {
+		return Verdict{}, fmt.Errorf("adversary: initial pattern %s is disconnected", initial.Key())
+	}
+	goal := a.opts.Goal
+	if goal == nil {
+		goal = config.GoalFor(initial.Len())
+	}
+	for _, h := range a.heuristics {
+		w := a.probe(initial, h, goal)
+		if w == nil {
+			continue
+		}
+		v := Verdict{Kind: Defeatable, Witness: w, Method: "heuristic:" + h.Name(), Depth: w.Depth()}
+		res, err := w.Verify(a.opts.Alg, goal)
+		if err != nil {
+			return v, err
+		}
+		v.ReplayStatus, v.ReplayRounds, v.ReplayMoves = res.Status, res.Rounds, res.Moves
+		return v, nil
+	}
+	if a.solver == nil {
+		return Verdict{Kind: Undecided, Method: "heuristics"}, nil
+	}
+	before := a.solver.StatesExplored()
+	defeatable, err := a.solver.Defeatable(initial)
+	states := a.solver.StatesExplored() - before
+	if err != nil {
+		return Verdict{}, err
+	}
+	if !defeatable {
+		return Verdict{Kind: Safe, Method: "solver", States: states}, nil
+	}
+	w, err := a.solver.witness(initial)
+	if err != nil {
+		return Verdict{}, err
+	}
+	v := Verdict{Kind: Defeatable, Witness: w, Method: "solver", Depth: w.Depth(), States: states}
+	res, err := w.Verify(a.opts.Alg, goal)
+	if err != nil {
+		return v, err
+	}
+	v.ReplayStatus, v.ReplayRounds, v.ReplayMoves = res.Status, res.Rounds, res.Moves
+	return v, nil
+}
+
+// probe runs one heuristic scheduler against the pattern and, when the
+// run fails to gather, extracts a certified witness from the recorded
+// activation history: terminal failures take the history as their
+// prefix; round-limited runs are scanned for the first repeated
+// pattern, whose closing segment is a replayable cycle (the dynamics
+// are deterministic and translation-invariant, so the segment loops
+// forever). A gathering or inconclusive run returns nil.
+func (a *Adversary) probe(initial config.Config, h sched.ConfigScheduler, goal func(config.Config) bool) *Witness {
+	rec := &recorder{inner: h}
+	res := sched.Run(a.opts.Alg, initial, rec, sim.Options{
+		MaxRounds:        a.opts.HeuristicRounds,
+		RecordTrace:      true,
+		DetectCycles:     true,
+		StopOnDisconnect: true,
+		Goal:             goal,
+	})
+	switch res.Status {
+	case sim.Gathered:
+		return nil
+	case sim.Collision:
+		return &Witness{Initial: initial, Prefix: rec.log, Kind: KindCollision}
+	case sim.Disconnected:
+		return &Witness{Initial: initial, Prefix: rec.log, Kind: KindDisconnection}
+	case sim.Stalled:
+		// The final recorded activation was the no-mover full
+		// fallback that let sched.Run decide the stall; it is not a
+		// transition, so it is not part of the witness.
+		return &Witness{Initial: initial, Prefix: rec.log[:len(rec.log)-1], Kind: KindStall}
+	}
+	// Livelock or round-limit: the heuristics activate at least one
+	// mover whenever movers exist, so every recorded round moved and
+	// trace index r is the configuration after r transitions. The
+	// first repeated pattern closes a cycle.
+	seen := make(map[string]int, len(res.Trace))
+	for j, c := range res.Trace {
+		key := c.Key()
+		if i, ok := seen[key]; ok {
+			return &Witness{
+				Initial: initial,
+				Prefix:  rec.log[:i],
+				Cycle:   rec.log[i:j],
+				Kind:    KindCycle,
+			}
+		}
+		seen[key] = j
+	}
+	return nil // no repeat within the budget: inconclusive
+}
+
+// recorder wraps a heuristic scheduler and logs every activation
+// subset it chooses, copying each (the heuristics reuse scratch).
+type recorder struct {
+	inner sched.ConfigScheduler
+	log   [][]int
+}
+
+// Name implements sched.Scheduler.
+func (r *recorder) Name() string { return r.inner.Name() }
+
+// Select implements sched.Scheduler.
+func (r *recorder) Select(n, round int) []int {
+	return r.record(r.inner.Select(n, round))
+}
+
+// SelectConfig implements sched.ConfigScheduler.
+func (r *recorder) SelectConfig(robots []grid.Coord, round int) []int {
+	return r.record(r.inner.SelectConfig(robots, round))
+}
+
+func (r *recorder) record(sel []int) []int {
+	cp := make([]int, len(sel))
+	copy(cp, sel)
+	r.log = append(r.log, cp)
+	return sel
+}

@@ -1,0 +1,221 @@
+package adversary
+
+import (
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/sched"
+	"repro/internal/vision"
+)
+
+// The heuristic schedulers are cheap damage-seeking adversaries run as
+// pre-filters before the exact solver: a pattern one of them defeats
+// never needs the full safety game. Unlike the blind schedulers of
+// internal/sched they are configuration-aware (sched.ConfigScheduler):
+// each round they recompute which robots want to move and aim the
+// activation at them. They double as standalone schedulers for any
+// sched.Run caller.
+//
+// Activating every mover reproduces the FSYNC step exactly (inactive
+// non-movers stay either way), which is why none of these heuristics
+// ever does it on purpose: damage comes from serializing the movers
+// (MoversOnly), desynchronizing symmetric moves (SplitMovers), or
+// steering one step ahead toward spread and breakage
+// (MaxDiameterGreedy).
+
+// heuristicCore computes the per-round mover set for the heuristics.
+// Not safe for concurrent use — construct one scheduler per run or per
+// worker, like sched.RandomSubset.
+type heuristicCore struct {
+	alg      core.Algorithm
+	packed   core.PackedAlgorithm
+	packable bool
+	visRange int
+	movers   []int       // scratch: mover indices, reused across rounds
+	moves    []core.Move // scratch: per-robot decisions
+}
+
+func newHeuristicCore(alg core.Algorithm) heuristicCore {
+	h := heuristicCore{alg: alg, visRange: alg.VisibilityRange()}
+	if pa, ok := alg.(core.PackedAlgorithm); ok && h.visRange <= vision.MaxPackedRange {
+		h.packed, h.packable = pa, true
+	}
+	return h
+}
+
+// compute fills the scratch decision buffers for the round and returns
+// the mover indices (valid until the next call).
+func (h *heuristicCore) compute(robots []grid.Coord) []int {
+	n := len(robots)
+	if cap(h.moves) < n {
+		h.moves = make([]core.Move, n)
+	}
+	h.moves, h.movers = h.moves[:n], h.movers[:0]
+	var cfg config.Config
+	if !h.packable {
+		cfg = config.New(robots...)
+	}
+	for i, pos := range robots {
+		m := moveFor(h.alg, h.packed, h.packable, h.visRange, cfg, robots, pos)
+		h.moves[i] = m
+		if m.IsMove() {
+			h.movers = append(h.movers, i)
+		}
+	}
+	return h.movers
+}
+
+// everyone returns the full activation set — the terminal fallback when
+// no robot wants to move, which lets sched.Run decide gathered/stalled
+// on the spot.
+func everyone(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// MoversOnly is the serializing adversary: it activates exactly one
+// mover per round, rotating through the current mover set. It is the
+// centralized (CENT) adversary with the wasted rounds removed —
+// round-robin over all robots activates mostly non-movers, and every
+// pattern CENT defeats this scheduler defeats too, typically in a
+// seventh of the rounds. Build with NewMoversOnly.
+type MoversOnly struct{ h heuristicCore }
+
+// NewMoversOnly returns the serializing adversary for the algorithm.
+func NewMoversOnly(alg core.Algorithm) *MoversOnly {
+	return &MoversOnly{h: newHeuristicCore(alg)}
+}
+
+// Name implements sched.Scheduler.
+func (*MoversOnly) Name() string { return "adv-movers-only" }
+
+// Select implements sched.Scheduler; without configuration access the
+// damaging choice is unavailable, so it degrades to full activation.
+func (*MoversOnly) Select(n, _ int) []int { return everyone(n) }
+
+// SelectConfig implements sched.ConfigScheduler.
+func (m *MoversOnly) SelectConfig(robots []grid.Coord, round int) []int {
+	movers := m.h.compute(robots)
+	if len(movers) == 0 {
+		return everyone(len(robots))
+	}
+	return []int{movers[round%len(movers)]}
+}
+
+// SplitMovers is the desynchronizing adversary: it alternates between
+// the two halves of the current mover set, so simultaneous symmetric
+// moves — the mechanism several of the paper's rules rely on — happen
+// one half at a time. Build with NewSplitMovers.
+type SplitMovers struct{ h heuristicCore }
+
+// NewSplitMovers returns the desynchronizing adversary for the algorithm.
+func NewSplitMovers(alg core.Algorithm) *SplitMovers {
+	return &SplitMovers{h: newHeuristicCore(alg)}
+}
+
+// Name implements sched.Scheduler.
+func (*SplitMovers) Name() string { return "adv-split-movers" }
+
+// Select implements sched.Scheduler (full-activation degradation).
+func (*SplitMovers) Select(n, _ int) []int { return everyone(n) }
+
+// SelectConfig implements sched.ConfigScheduler.
+func (s *SplitMovers) SelectConfig(robots []grid.Coord, round int) []int {
+	movers := s.h.compute(robots)
+	if len(movers) == 0 {
+		return everyone(len(robots))
+	}
+	half := (len(movers) + 1) / 2
+	if round%2 == 1 && len(movers) > half {
+		return movers[half:]
+	}
+	return movers[:half]
+}
+
+// MaxDiameterGreedy is the spreading adversary: a one-step lookahead
+// over a small candidate family — each single mover, the two mover
+// halves, and all movers — that picks, in damage order, a collision if
+// any candidate forces one, then a disconnection, then the successor
+// of maximum diameter (gathering must shrink the diameter to its
+// minimum, so holding it high is the greedy proxy for never
+// gathering). The lookahead rides the solver's step helper, so it is
+// limited to the MaxRobots envelope; past it the scheduler degrades to
+// the serializing choice. Build with NewMaxDiameterGreedy.
+type MaxDiameterGreedy struct{ h heuristicCore }
+
+// NewMaxDiameterGreedy returns the spreading adversary for the algorithm.
+func NewMaxDiameterGreedy(alg core.Algorithm) *MaxDiameterGreedy {
+	return &MaxDiameterGreedy{h: newHeuristicCore(alg)}
+}
+
+// Name implements sched.Scheduler.
+func (*MaxDiameterGreedy) Name() string { return "adv-max-diameter" }
+
+// Select implements sched.Scheduler (full-activation degradation).
+func (*MaxDiameterGreedy) Select(n, _ int) []int { return everyone(n) }
+
+// SelectConfig implements sched.ConfigScheduler.
+func (g *MaxDiameterGreedy) SelectConfig(robots []grid.Coord, round int) []int {
+	movers := g.h.compute(robots)
+	if len(movers) == 0 {
+		return everyone(len(robots))
+	}
+	if len(robots) > MaxRobots {
+		// Past the step helper's envelope: serialize instead of scoring.
+		return []int{movers[round%len(movers)]}
+	}
+	half := (len(movers) + 1) / 2
+	candidates := make([][]int, 0, len(movers)+3)
+	for _, m := range movers {
+		candidates = append(candidates, []int{m})
+	}
+	if len(movers) > 1 {
+		candidates = append(candidates, movers[:half])
+		if len(movers) > half {
+			candidates = append(candidates, movers[half:])
+		}
+		candidates = append(candidates, movers)
+	}
+	bestScore := -1
+	var best []int
+	for _, cand := range candidates {
+		score, terminal := g.score(robots, cand)
+		if terminal {
+			return cand // collision or disconnection: maximum damage, take it
+		}
+		if score > bestScore {
+			bestScore, best = score, cand
+		}
+	}
+	return best
+}
+
+// score evaluates one candidate subset (a subset of the movers just
+// computed): terminal is true for a collision or disconnection
+// (immediate defeat), otherwise the score is the successor
+// configuration's diameter. It applies the same step the solver does
+// (applySubset), so lookahead and game never disagree.
+func (g *MaxDiameterGreedy) score(robots []grid.Coord, active []int) (score int, terminal bool) {
+	var sub uint16
+	for _, i := range active {
+		sub |= 1 << uint(i)
+	}
+	next, outcome := applySubset(robots, g.h.moves, sub)
+	if outcome != stepOK {
+		return 0, true
+	}
+	return next.Diameter(), false
+}
+
+// Heuristics returns the standard pre-filter battery, in the order
+// Decide runs them: serialize, desynchronize, spread.
+func Heuristics(alg core.Algorithm) []sched.ConfigScheduler {
+	return []sched.ConfigScheduler{
+		NewMoversOnly(alg),
+		NewSplitMovers(alg),
+		NewMaxDiameterGreedy(alg),
+	}
+}

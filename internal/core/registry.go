@@ -1,0 +1,28 @@
+package core
+
+import "fmt"
+
+// ByName maps the algorithm names the command-line tools share onto
+// instances: the full Gatherer and its ablation variants, the n = 3
+// extension, and the two baselines. Every command's -alg flag resolves
+// through this one table, so the accepted names cannot drift between
+// CLIs.
+func ByName(name string) (Algorithm, error) {
+	switch name {
+	case "full":
+		return Gatherer{}, nil
+	case "no-table":
+		return Gatherer{Variant: VariantNoTable}, nil
+	case "no-reconstruction":
+		return Gatherer{Variant: VariantNoReconstruction}, nil
+	case "paper":
+		return Gatherer{Variant: VariantPaper}, nil
+	case "three":
+		return ThreeGatherer{}, nil
+	case "idle":
+		return Idle{}, nil
+	case "greedy":
+		return GreedyEast{}, nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (full, no-table, no-reconstruction, paper, three, idle, greedy)", name)
+}

@@ -26,6 +26,21 @@ type Scheduler interface {
 	Select(n int, round int) []int
 }
 
+// ConfigScheduler is a Scheduler whose activation choice may depend on
+// the current configuration — the adversarial schedulers of
+// internal/adversary recompute which robots want to move each round
+// and aim the activation at them. Run consults SelectConfig whenever
+// the scheduler implements it; Select remains the blind fallback for
+// callers without configuration access.
+type ConfigScheduler interface {
+	Scheduler
+	// SelectConfig returns the activated indices into robots, the
+	// current sorted node list. robots is a shared scratch buffer,
+	// valid only for the duration of the call — implementations must
+	// not retain it.
+	SelectConfig(robots []grid.Coord, round int) []int
+}
+
 // FSYNC activates every robot every round (the paper's model).
 type FSYNC struct{}
 
@@ -138,10 +153,16 @@ func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Option
 	robots := make([]grid.Coord, 0, n)
 	targets := make([]grid.Coord, n)
 	moving := make([]bool, n)
+	cs, adaptive := s.(ConfigScheduler)
 	idle := 0 // consecutive rounds with no movement
 	for round := 0; round < maxRounds; round++ {
 		robots = cur.AppendNodes(robots[:0])
-		active := s.Select(len(robots), round)
+		var active []int
+		if adaptive {
+			active = cs.SelectConfig(robots, round)
+		} else {
+			active = s.Select(len(robots), round)
+		}
 		targets, moving = targets[:len(robots)], moving[:len(robots)]
 		moved := 0
 		for i, p := range robots {

@@ -36,6 +36,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/adversary"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/sched"
@@ -89,6 +90,19 @@ type Spec struct {
 	// called from the aggregation goroutine, in order, never
 	// concurrently.
 	Progress func(done, total int)
+	// Adversary switches the sweep from scheduler runs to exact
+	// adversarial decision (experiment E13): each pattern is handed to
+	// internal/adversary — heuristic pre-filter schedulers first, the
+	// memoized safety-game solver for whatever they cannot defeat —
+	// and the CaseResult carries the Verdict (defeatable with a
+	// verified witness schedule / safe / undecided). Scheduler, Seeds
+	// and Workers are ignored: decisions share one memoized solver and
+	// run single-threaded in source order, which keeps the per-pattern
+	// state counts deterministic (the whole n = 7 space decides in
+	// seconds). Alg and Goal default from the Spec when unset in the
+	// Options, and MaxRounds supplies the heuristic probe budget when
+	// Options.HeuristicRounds is unset.
+	Adversary *adversary.Options
 }
 
 // CaseResult records one run's outcome: one initial pattern under one
@@ -110,6 +124,13 @@ type CaseResult struct {
 	// bucket); meaningful for failed runs, zero-diameter-bucket
 	// Gathered otherwise.
 	Class Class
+	// Verdict is the adversarial decision for this pattern; non-nil
+	// exactly in adversary-mode sweeps (Spec.Adversary). Status then
+	// reflects the verdict: the witness kind's status for defeatable
+	// patterns (a forced cycle is a Livelock; collision, disconnection
+	// and stall are themselves), Gathered for safe ones, and
+	// RoundLimit as the undecided marker of a heuristics-only pass.
+	Verdict *adversary.Verdict
 }
 
 // Report aggregates a sweep. All aggregation happens in source order on
@@ -130,7 +151,9 @@ type Report struct {
 	ByStatus map[sim.Status]int `json:"by_status"`
 	// ByClass counts failed runs per taxonomy class.
 	ByClass map[Class]int `json:"by_class,omitempty"`
-	// MaxRounds / MeanRounds / MaxMoves / MeanMoves are over gathered runs.
+	// MaxRounds / MeanRounds / MaxMoves / MeanMoves are over gathered
+	// runs — except in adversary mode, where safe verdicts involve no
+	// run and the aggregates describe the witness replays instead.
 	MaxRounds  int     `json:"max_rounds"`
 	MeanRounds float64 `json:"mean_rounds"`
 	MaxMoves   int     `json:"max_moves"`
@@ -139,6 +162,19 @@ type Report struct {
 	// that gathered in exactly k of the Schedules runs. For a
 	// single-schedule sweep it degenerates to {failed, gathered}.
 	Robust []int `json:"robust"`
+	// Adversary-mode aggregation (Spec.Adversary), zero otherwise:
+	// Defeatable / SafePatterns / Undecided partition the patterns by
+	// verdict, ByMethod counts what decided them (each heuristic
+	// scheduler by name, or "solver"), SolverStates is the total size
+	// of the explored game graph (shared memo: later patterns reuse
+	// earlier patterns' states), and MaxWitnessDepth is the longest
+	// winning strategy found (prefix + one cycle lap).
+	Defeatable      int            `json:"defeatable,omitempty"`
+	SafePatterns    int            `json:"safe,omitempty"`
+	Undecided       int            `json:"undecided,omitempty"`
+	ByMethod        map[string]int `json:"by_method,omitempty"`
+	SolverStates    int            `json:"solver_states,omitempty"`
+	MaxWitnessDepth int            `json:"max_witness_depth,omitempty"`
 	// PeakPending is the high-water mark of the in-order delivery
 	// buffer — the number of configurations the engine held at once
 	// beyond the workers' own. The dispatch window bounds it at
@@ -187,7 +223,7 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "algorithm %s, n=%d, scheduler %s, source %s: %d/%d gathered",
 		r.Algorithm, r.Robots, r.Scheduler, r.Source, r.Gathered(), r.Total)
-	if r.Gathered() > 0 {
+	if r.Gathered() > 0 && r.ByMethod == nil {
 		fmt.Fprintf(&b, " (rounds max %d mean %.1f, moves max %d mean %.1f)",
 			r.MaxRounds, r.MeanRounds, r.MaxMoves, r.MeanMoves)
 	}
@@ -204,6 +240,13 @@ func (r *Report) String() string {
 	if r.Schedules > 1 {
 		fmt.Fprintf(&b, "; robustness: %d/%d patterns in all %d schedules, %d in none",
 			r.FullyRobust(), r.Patterns, r.Schedules, r.Robust[0])
+	}
+	if r.ByMethod != nil {
+		fmt.Fprintf(&b, "; adversary: %d defeatable / %d safe", r.Defeatable, r.SafePatterns)
+		if r.Undecided > 0 {
+			fmt.Fprintf(&b, " / %d undecided", r.Undecided)
+		}
+		fmt.Fprintf(&b, " (game states %d, max strategy depth %d)", r.SolverStates, r.MaxWitnessDepth)
 	}
 	return b.String()
 }
@@ -263,6 +306,9 @@ func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Repo
 	}
 	if spec.Source == nil {
 		spec.Source = Connected(spec.N)
+	}
+	if spec.Adversary != nil {
+		return streamAdversary(ctx, spec, visit)
 	}
 	seeds := spec.Seeds
 	if len(seeds) == 0 {
@@ -440,6 +486,130 @@ func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Repo
 	if gathered > 0 {
 		report.MeanRounds = float64(sumRounds) / float64(gathered)
 		report.MeanMoves = float64(sumMoves) / float64(gathered)
+	}
+	return report, nil
+}
+
+// streamAdversary executes an adversary-mode sweep: one exact decision
+// per pattern, single-threaded in source order over one shared solver
+// (the memoized game graph is the whole point — and sharing it across
+// a worker pool would make the per-pattern state counts depend on
+// scheduling). Rounds/Moves of defeatable cases come from the verified
+// witness replay, so the usual aggregates describe the defeats.
+func streamAdversary(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Report, error) {
+	if spec.N > adversary.MaxRobots {
+		// Fail fast: the default Source would otherwise enumerate an
+		// astronomically large space before the first decision could
+		// report the envelope error.
+		return nil, fmt.Errorf("sweep: adversary mode supports at most %d robots (n=%d)", adversary.MaxRobots, spec.N)
+	}
+	opts := *spec.Adversary
+	if opts.Alg == nil {
+		opts.Alg = spec.Alg
+	}
+	if opts.Goal == nil {
+		opts.Goal = spec.Goal
+	}
+	if opts.HeuristicRounds == 0 {
+		opts.HeuristicRounds = spec.MaxRounds // probe budget; 0 keeps the adversary default
+	}
+	if spec.Cache != nil {
+		// Share the view→move cache like the scheduler paths do; the
+		// solver and heuristics both ride ComputePacked, so the memoized
+		// wrapper slots straight in.
+		opts.Alg = core.Memoize(opts.Alg, spec.Cache)
+	}
+	adv := adversary.New(opts)
+	patterns := spec.Source.Count()
+	report := &Report{
+		Algorithm: opts.Alg.Name(),
+		Scheduler: "adversary",
+		Robots:    spec.N,
+		Source:    spec.Source.Label(),
+		Patterns:  patterns,
+		Schedules: 1,
+		Total:     patterns,
+		ByStatus:  map[sim.Status]int{},
+		ByClass:   map[Class]int{},
+		ByMethod:  map[string]int{},
+		Robust:    make([]int, 2),
+	}
+	var defeats, sumRounds, sumMoves int
+	var cerr error
+	spec.Source.Each(func(i int, c config.Config) bool {
+		if err := ctx.Err(); err != nil {
+			cerr = err
+			return false
+		}
+		verdict, err := adv.Decide(c)
+		if err != nil {
+			cerr = fmt.Errorf("pattern %d (%s): %w", i, c.Key(), err)
+			return false
+		}
+		cr := CaseResult{Index: i, Pattern: i, Initial: c, Verdict: &verdict}
+		switch verdict.Kind {
+		case adversary.Safe:
+			cr.Status = sim.Gathered
+			report.SafePatterns++
+		case adversary.Undecided:
+			cr.Status = sim.RoundLimit
+			report.Undecided++
+		case adversary.Defeatable:
+			// The witness kind is the exact classification (a forced
+			// cycle is a livelock however its bounded replay ends);
+			// rounds/moves describe the verified replay.
+			cr.Status = verdict.Witness.Status()
+			cr.Rounds = verdict.ReplayRounds
+			cr.Moves = verdict.ReplayMoves
+			report.Defeatable++
+			if verdict.Depth > report.MaxWitnessDepth {
+				report.MaxWitnessDepth = verdict.Depth
+			}
+		}
+		cr.Class = Classify(c, cr.Status)
+		report.ByMethod[verdict.Method]++
+		report.ByStatus[cr.Status]++
+		if cr.Status == sim.Gathered {
+			report.Robust[1]++
+		} else {
+			report.Robust[0]++
+			report.ByClass[cr.Class]++
+		}
+		// The rounds/moves aggregates describe the witness replays, so
+		// only defeats (which have a replay) contribute — undecided
+		// heuristics-only cases would dilute the means with zeros.
+		if verdict.Kind == adversary.Defeatable {
+			defeats++
+			sumRounds += cr.Rounds
+			sumMoves += cr.Moves
+			if cr.Rounds > report.MaxRounds {
+				report.MaxRounds = cr.Rounds
+			}
+			if cr.Moves > report.MaxMoves {
+				report.MaxMoves = cr.Moves
+			}
+		}
+		if spec.KeepCases {
+			report.Cases = append(report.Cases, cr)
+		}
+		if visit != nil {
+			if err := visit(cr); err != nil {
+				cerr = err
+				return false
+			}
+		}
+		if spec.Progress != nil {
+			spec.Progress(i+1, report.Total)
+		}
+		return true
+	})
+	report.SolverStates = adv.StatesExplored()
+	if cerr != nil {
+		return nil, cerr
+	}
+	if defeats > 0 {
+		report.MeanRounds = float64(sumRounds) / float64(defeats)
+		report.MeanMoves = float64(sumMoves) / float64(defeats)
 	}
 	return report, nil
 }

@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/enumerate"
@@ -257,5 +258,77 @@ func TestSources(t *testing.T) {
 	}
 	if rep.Patterns != 4 || rep.Source != "list(4)" || !rep.AllGathered() {
 		t.Fatalf("list sweep: %s", rep)
+	}
+}
+
+// TestAdversaryMode runs the exact-adversary sweep over the full n = 5
+// space: every pattern is defeatable (the E13 small-n result), every
+// case carries a verified verdict, and the report partition is
+// consistent and deterministic across runs.
+func TestAdversaryMode(t *testing.T) {
+	spec := sweep.Spec{N: 5, Adversary: &adversary.Options{}}
+	var verdicts int
+	rep, err := sweep.Stream(context.Background(), spec, func(c sweep.CaseResult) error {
+		if c.Verdict == nil {
+			t.Fatalf("pattern %d: no verdict in adversary mode", c.Pattern)
+		}
+		if c.Verdict.Kind == adversary.Defeatable {
+			if c.Verdict.Witness == nil {
+				t.Fatalf("pattern %d: defeatable without witness", c.Pattern)
+			}
+			if c.Status != c.Verdict.Witness.Status() || c.Status == sim.Gathered {
+				t.Fatalf("pattern %d: status %v vs witness kind %v", c.Pattern, c.Status, c.Verdict.Witness.Kind)
+			}
+		}
+		verdicts++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdicts != enumerate.KnownCounts[5] {
+		t.Fatalf("visited %d verdicts, want %d", verdicts, enumerate.KnownCounts[5])
+	}
+	if rep.Defeatable != 186 || rep.SafePatterns != 0 || rep.Undecided != 0 {
+		t.Fatalf("n=5 partition %d/%d/%d, want 186/0/0", rep.Defeatable, rep.SafePatterns, rep.Undecided)
+	}
+	if rep.Defeatable+rep.SafePatterns != rep.Patterns || rep.Scheduler != "adversary" {
+		t.Fatalf("inconsistent report: %s", rep)
+	}
+	if rep.AllGathered() {
+		t.Fatal("defeats must fail AllGathered (the verify exit-code contract)")
+	}
+	// Determinism: a second run aggregates to the identical report.
+	rep2, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Fatalf("adversary-mode sweep is not deterministic:\n%v\nvs\n%v", rep, rep2)
+	}
+}
+
+// TestAdversaryModeHeuristicsOnly: undecided patterns surface as
+// round-limit cases, and the partition still covers the space.
+func TestAdversaryModeHeuristicsOnly(t *testing.T) {
+	rep, err := sweep.Run(context.Background(), sweep.Spec{
+		N:         6,
+		Adversary: &adversary.Options{HeuristicsOnly: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Defeatable+rep.Undecided != rep.Patterns {
+		t.Fatalf("heuristics-only partition %d+%d != %d", rep.Defeatable, rep.Undecided, rep.Patterns)
+	}
+	if rep.SafePatterns != 0 {
+		t.Fatalf("heuristics-only pass claimed %d safe patterns", rep.SafePatterns)
+	}
+	if rep.Undecided == 0 {
+		t.Fatal("expected undecided patterns at n=6 (93 are safe)")
+	}
+	if rep.ByStatus[sim.RoundLimit] != rep.Undecided {
+		t.Fatalf("undecided marker mismatch: %d round-limit vs %d undecided",
+			rep.ByStatus[sim.RoundLimit], rep.Undecided)
 	}
 }
