@@ -14,6 +14,7 @@
 //	E11 BenchmarkE11_N8Sweep             — the n = 8 open-problem map
 //	E12 BenchmarkE8_SSYNCSweep           — SSYNC robustness, all patterns
 //	E13 BenchmarkE13_AdversarySearch     — adversarial-schedule search
+//	E14 BenchmarkE14_N8Adversary         — the n = 8 defeasibility map
 //
 // Run all of them with: go test -bench=. -benchmem .
 package repro
@@ -277,6 +278,38 @@ func BenchmarkE13_AdversarySearch(b *testing.B) {
 		}
 		if rep.Defeatable != 2252 || rep.Undecided != 1400 {
 			b.Fatalf("heuristics defeated %d / left %d undecided, want 2252 / 1400",
+				rep.Defeatable, rep.Undecided)
+		}
+		b.ReportMetric(float64(rep.Defeatable), "defeated")
+		b.ReportMetric(float64(rep.Undecided), "undecided")
+		b.ReportMetric(float64(rep.MaxWitnessDepth), "max-depth")
+	}
+}
+
+// BenchmarkE14_N8Adversary is the heuristic search stage of the n = 8
+// defeasibility map (E14): the damage-seeking schedulers probe all
+// 16689 connected 8-robot patterns through the shared transition
+// kernel and certify a witness for every pattern they defeat. The
+// pre-filters alone settle 13634 patterns; the remaining 3055 go to
+// the exact solver in the full E14 run (`adversary -n 8 -workers N`,
+// or the ADV_HEAVY=1 test), which splits them into 2778 more defeats
+// and 277 safe patterns. The defeated/undecided counts are pinned, so
+// the bench doubles as a correctness check on the kernel-backed
+// heuristic battery at n = 8.
+func BenchmarkE14_N8Adversary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := sweep.Run(context.Background(), sweep.Spec{
+			N:         8,
+			Adversary: &adversary.Options{HeuristicsOnly: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Patterns != enumerate.KnownCounts[8] {
+			b.Fatalf("probed %d patterns, want %d", rep.Patterns, enumerate.KnownCounts[8])
+		}
+		if rep.Defeatable != 13634 || rep.Undecided != 3055 {
+			b.Fatalf("heuristics defeated %d / left %d undecided, want 13634 / 3055",
 				rep.Defeatable, rep.Undecided)
 		}
 		b.ReportMetric(float64(rep.Defeatable), "defeated")

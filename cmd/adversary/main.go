@@ -20,14 +20,26 @@
 //	-n N              decide every connected N-robot pattern
 //	-alg A            algorithm under attack (full, no-table,
 //	                  no-reconstruction, paper, three, idle, greedy)
+//	-workers N        decide patterns in parallel over a shared
+//	                  concurrent solver memo (0 = GOMAXPROCS; default
+//	                  1, the sequential executor). Verdicts, witnesses
+//	                  and the summary are identical at any worker
+//	                  count; only the per-pattern "states" counts
+//	                  depend on which worker reached a shared game
+//	                  state first. The n = 8 map (E14) is the workload
+//	                  this exists for.
 //	-heuristics-only  skip the exact solver: report only what the
 //	                  cheap schedulers defeat (verdict "undecided"
-//	                  for the rest; the E13 bench measures this pass)
+//	                  for the rest; the E13/E14 benches measure this
+//	                  pass)
 //	-no-heuristics    exact solver only (every witness then carries
 //	                  method "solver")
 //	-heuristic-rounds R   round budget per heuristic probe
 //	-no-witness       omit the witness schedules from the JSONL
 //	                  (verdict lines only)
+//	-safe-summary     print the diameter × robot-count histogram of
+//	                  the Safe verdicts on stderr — the safe-set
+//	                  characterization of ROADMAP item (b)
 //	-progress         report progress on stderr
 //
 // Exit status: 0 when every pattern was decided (defeats are the
@@ -43,6 +55,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"repro/internal/adversary"
@@ -70,12 +83,21 @@ type verdictLine struct {
 func main() {
 	algName := flag.String("alg", "full", "algorithm under attack (full, no-table, no-reconstruction, paper, three, idle, greedy)")
 	n := flag.Int("n", 7, "robot count: decide every connected n-robot pattern")
+	workers := flag.Int("workers", 1, "parallel decision workers over the shared solver memo (0 = GOMAXPROCS, 1 = sequential)")
 	heuristicsOnly := flag.Bool("heuristics-only", false, "skip the exact solver (cheap pre-filter pass only)")
 	noHeuristics := flag.Bool("no-heuristics", false, "skip the heuristic pre-filters (exact solver only)")
 	heuristicRounds := flag.Int("heuristic-rounds", 0, "round budget per heuristic probe (0 = default)")
 	noWitness := flag.Bool("no-witness", false, "omit witness schedules from the JSONL output")
+	safeSummary := flag.Bool("safe-summary", false, "print the diameter histogram of the safe patterns on stderr")
 	progress := flag.Bool("progress", false, "report progress on stderr")
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "adversary: -workers must be non-negative")
+		os.Exit(2)
+	}
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 
 	alg, err := core.ByName(*algName)
 	if err != nil {
@@ -88,8 +110,9 @@ func main() {
 	}
 
 	spec := sweep.Spec{
-		N:   *n,
-		Alg: alg,
+		N:       *n,
+		Alg:     alg,
+		Workers: *workers,
 		Adversary: &adversary.Options{
 			Alg:             alg,
 			HeuristicsOnly:  *heuristicsOnly,
@@ -107,8 +130,12 @@ func main() {
 
 	out := bufio.NewWriter(os.Stdout)
 	enc := json.NewEncoder(out)
+	safeByDiameter := map[int]int{}
 	visit := func(c sweep.CaseResult) error {
 		v := c.Verdict
+		if *safeSummary && v.Kind == adversary.Safe {
+			safeByDiameter[c.Initial.Diameter()]++
+		}
 		line := verdictLine{
 			Pattern: c.Pattern,
 			Initial: c.Initial.Key(),
@@ -153,5 +180,23 @@ func main() {
 	sort.Strings(methods)
 	for _, m := range methods {
 		fmt.Fprintf(os.Stderr, "adversary:   %-28s %d\n", m, report.ByMethod[m])
+	}
+	if *safeSummary {
+		// The safe-set characterization (ROADMAP item b): where, by
+		// initial diameter, does the adversary fail to break the
+		// algorithm? Safe patterns concentrate at small diameter.
+		diams := make([]int, 0, len(safeByDiameter))
+		for d := range safeByDiameter {
+			diams = append(diams, d)
+		}
+		sort.Ints(diams)
+		fmt.Fprintf(os.Stderr, "adversary: safe-summary: n=%d, %d safe patterns by initial diameter\n",
+			report.Robots, report.SafePatterns)
+		for _, d := range diams {
+			fmt.Fprintf(os.Stderr, "adversary:   diameter %-2d %6d\n", d, safeByDiameter[d])
+		}
+		if len(diams) == 0 {
+			fmt.Fprintln(os.Stderr, "adversary:   (no safe patterns)")
+		}
 	}
 }

@@ -22,6 +22,10 @@
 //	-seeds M      run each pattern under M activation schedules
 //	              (seeds 1..M); the report aggregates per-pattern
 //	              robustness (E12: -sched ssync -seeds 32)
+//	-workers N    worker pool size (0 = GOMAXPROCS). With -sched adv,
+//	              0 keeps the sequential solver (deterministic
+//	              solver_states); pass an explicit N > 1 for the
+//	              pattern-parallel executor (E14: -n 8 -workers 8)
 //	-json         print the aggregated report as JSON
 //	-cases F      stream every per-run result to F as JSON lines while
 //	              sweeping (constant memory: nothing is retained)
@@ -81,7 +85,7 @@ func main() {
 	schedName := flag.String("sched", "fsync", "scheduler: fsync, ssync, cent, adv (exact adversarial decision)")
 	seeds := flag.Int("seeds", 1, "activation schedules per pattern (ssync robustness axis; seeds 1..M)")
 	maxRounds := flag.Int("max-rounds", 0, "round budget per run (0 = default)")
-	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; with -sched adv, 0 = the sequential solver, which keeps solver_states deterministic)")
 	stats := flag.Bool("stats", false, "print rounds histogram and per-diameter table")
 	classes := flag.Bool("classes", false, "print the failure taxonomy (status × initial diameter)")
 	jsonOut := flag.Bool("json", false, "print the aggregated report as JSON")
@@ -156,23 +160,21 @@ Flags:
 	case "cent":
 		spec.Scheduler = sweep.CENT
 	case "adv":
-		// Exact per-pattern adversarial decision (E13). The seeds axis
-		// is meaningless (the adversary is universally quantified), the
-		// solver's game treats disconnection as terminal (so the
-		// relaxed range-1-disconnected spaces are out of its domain),
-		// and decisions run single-threaded over one shared memoized
-		// solver (so -workers does not apply). -max-rounds maps onto
-		// the heuristic probe budget.
+		// Exact per-pattern adversarial decision (E13/E14). The seeds
+		// axis is meaningless (the adversary is universally
+		// quantified), and the solver's game treats disconnection as
+		// terminal (so the relaxed range-1-disconnected spaces are out
+		// of its domain). -workers > 1 decides patterns in parallel
+		// over the shared concurrent solver memo; the default stays
+		// sequential, which keeps per-pattern state counts
+		// deterministic. -max-rounds maps onto the heuristic probe
+		// budget.
 		if *seeds > 1 {
 			fmt.Fprintln(os.Stderr, "verify: -sched adv decides all schedules at once; -seeds does not apply")
 			os.Exit(2)
 		}
 		if *visRange > 1 {
 			fmt.Fprintln(os.Stderr, "verify: -sched adv requires the adjacency-connected space (-range 1)")
-			os.Exit(2)
-		}
-		if *workers != 0 {
-			fmt.Fprintln(os.Stderr, "verify: -sched adv runs single-threaded over a shared solver; -workers does not apply")
 			os.Exit(2)
 		}
 		if *stats {

@@ -1,7 +1,7 @@
 // Package adversary decides, exactly, whether an SSYNC adversary can
 // prevent gathering from a given initial pattern — the adversarial
 // counterpart of the probabilistic robustness sweeps (E8/E12), and the
-// subsystem behind experiment E13.
+// subsystem behind experiments E13 (n = 7) and E14 (n = 8).
 //
 // # The game
 //
@@ -46,33 +46,55 @@
 //
 // Collisions and disconnections are terminal, so every non-terminal
 // state is a connected pattern of exactly n distinct nodes — for n = 7
-// the entire game graph has at most 3652 vertices. States are keyed by
-// the compact translation-invariant config.Key128 (exact through
-// n = 14; a string fallback keeps larger or wider states correct), and
-// the solver memoizes verdicts across patterns: deciding the whole
-// n = 7 space shares one table, so most of the 3652 root solves are
-// lookups into a game graph already colored.
+// the entire game graph has at most 3652 vertices, for n = 8 at most
+// 16689. States are keyed by the compact translation-invariant
+// config.Key128 (exact through n = 14; a string fallback keeps larger
+// or wider states correct), and the solver memoizes verdicts across
+// patterns: deciding a whole space shares one table, so most root
+// solves are lookups into a game graph already colored.
+//
+// The game dynamics themselves — look→compute→move, the collision
+// rules, the disconnection check — are the shared transition kernel
+// (internal/step): the solver, the heuristic schedulers, and the
+// sched/sim replay machinery all execute the identical step, so the
+// game and the simulator cannot drift apart.
+//
+// # Concurrency
+//
+// The memo is sharded by key and lock-striped, and verdicts are
+// published only once final, so a Solver is safe for concurrent use:
+// any number of goroutines may call Defeatable (or Adversary.Decide on
+// per-worker Forks sharing the solver) against one shared game graph.
+// Each search keeps its DFS path private — a back edge is a cycle only
+// on the searcher's own stack — and duplicated in-flight work between
+// workers resolves to identical published verdicts: the game's value
+// is unique, and the stored winning choice is the first defeating
+// activation subset in the fixed descending enumeration order, which
+// no interleaving can change. That makes witnesses deterministic
+// across worker counts; only the per-pattern new-state counts depend
+// on scheduling.
 //
 // The solver is a three-color DFS: a back edge to a state on the
-// current stack is a forceable cycle (defeat), a terminal failure is a
-// defeat, any defeated successor is a defeat, and a state is safe only
-// when every choice has been shown safe. Each defeated state stores
-// its winning activation subset, so a winning strategy — and from it a
-// concrete witness schedule (Witness) — is read back by walking the
-// stored choices until the play hits a terminal failure or closes a
-// cycle. Witnesses replay through the ordinary sched/sim machinery
-// (Witness.Scheduler is a sched.Scheduler), so every defeat the solver
-// claims is re-simulatable and independently confirmed.
+// current search's stack is a forceable cycle (defeat), a terminal
+// failure is a defeat, any defeated successor is a defeat, and a state
+// is safe only when every choice has been shown safe. Each defeated
+// state stores its winning activation subset, so a winning strategy —
+// and from it a concrete witness schedule (Witness) — is read back by
+// walking the stored choices until the play hits a terminal failure or
+// closes a cycle. Witnesses replay through the ordinary sched/sim
+// machinery (Witness.Scheduler is a sched.Scheduler), so every defeat
+// the solver claims is re-simulatable and independently confirmed.
 package adversary
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/grid"
-	"repro/internal/sim"
-	"repro/internal/vision"
+	"repro/internal/step"
 )
 
 // MaxRobots is the largest robot count the solver accepts — the
@@ -81,14 +103,15 @@ import (
 // anyone should solve exhaustively.
 const MaxRobots = 14
 
-// color is the DFS state of one game vertex.
+// color is the search state of one game vertex.
 type color uint8
 
 const (
-	// unknown: never expanded (the zero value of a fresh state).
+	// unknown: not yet decided (never stored in the memo).
 	unknown color = iota
-	// gray: on the current DFS stack; an edge into a gray state is a
-	// back edge, i.e. a forceable cycle.
+	// gray: on the current search's own DFS stack; an edge into a gray
+	// state is a back edge, i.e. a forceable cycle. Gray is a private,
+	// in-flight color — the shared memo stores only final verdicts.
 	gray
 	// safe: every adversary choice from here leads to gathering.
 	safe
@@ -99,34 +122,121 @@ const (
 	aborted
 )
 
-// state is one memoized game vertex.
-type state struct {
-	color color
-	// choice is the winning activation subset (a bitmask over the
-	// state's sorted robot indices) when color == defeated. Zero for a
-	// terminal stall (no movers to activate).
-	choice uint16
+// verdict is one final, memoized game verdict: the color (safe or
+// defeated only) and, for defeats, the winning activation subset over
+// the state's sorted robot indices (zero for a terminal stall).
+type verdict struct {
+	color  color
+	choice step.Mask
+}
+
+// stateKey identifies a game state: the exact config.Key128 for every
+// pattern inside the envelope (all of them, for connected patterns of
+// at most MaxRobots robots), the canonical string for the rest. It is
+// comparable, so it keys maps directly.
+type stateKey struct {
+	k     config.Key128
+	s     string
+	exact bool
+}
+
+// keyOf builds the state key of a sorted node list.
+func keyOf(nodes []grid.Coord) stateKey {
+	if k, ok := config.Key128Nodes(nodes); ok {
+		return stateKey{k: k, exact: true}
+	}
+	return stateKey{s: config.New(nodes...).Key()}
+}
+
+// memoShards is the lock-striping width of the shared verdict store.
+// 64 shards keep contention negligible for any worker count a sweep
+// runs (the per-shard critical sections are single map operations).
+const memoShards = 64
+
+// memo is the sharded concurrent verdict store: the colored game
+// graph, shared by every search and every worker. Verdicts are
+// published exactly once final — in-flight (gray) states never enter —
+// so readers either miss (and solve locally) or see a complete,
+// immutable verdict. Publishing is first-write-wins; concurrent
+// publishers hold identical verdicts (see the package comment), so the
+// race is benign and the winner is irrelevant.
+type memo struct {
+	shards  [memoShards]memoShard
+	slowMu  sync.RWMutex
+	slow    map[string]verdict
+	created atomic.Int64
+}
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[config.Key128]verdict
+}
+
+func newMemo() *memo {
+	mm := &memo{slow: make(map[string]verdict)}
+	for i := range mm.shards {
+		mm.shards[i].m = make(map[config.Key128]verdict)
+	}
+	return mm
+}
+
+// shardOf mixes the 128-bit key down to a shard index.
+func shardOf(k config.Key128) int {
+	h := k.Lo*0x9e3779b97f4a7c15 ^ k.Hi
+	return int(h >> (64 - 6)) // top bits of the multiplied hash spread best
+}
+
+// load returns the published verdict for a state, if any.
+func (m *memo) load(key stateKey) (verdict, bool) {
+	if key.exact {
+		s := &m.shards[shardOf(key.k)]
+		s.mu.RLock()
+		v, ok := s.m[key.k]
+		s.mu.RUnlock()
+		return v, ok
+	}
+	m.slowMu.RLock()
+	v, ok := m.slow[key.s]
+	m.slowMu.RUnlock()
+	return v, ok
+}
+
+// publish stores a final verdict, keeping any already-published one
+// (identical anyway) and counting each state once.
+func (m *memo) publish(key stateKey, v verdict) {
+	if key.exact {
+		s := &m.shards[shardOf(key.k)]
+		s.mu.Lock()
+		if _, dup := s.m[key.k]; !dup {
+			s.m[key.k] = v
+			m.created.Add(1)
+		}
+		s.mu.Unlock()
+		return
+	}
+	m.slowMu.Lock()
+	if _, dup := m.slow[key.s]; !dup {
+		m.slow[key.s] = v
+		m.created.Add(1)
+	}
+	m.slowMu.Unlock()
 }
 
 // Solver decides the safety game for one algorithm and goal. Verdicts
 // are memoized across calls — deciding many patterns of the same space
 // shares one colored game graph — so a Solver is the unit of reuse a
-// sweep should hold on to. It is not safe for concurrent use.
+// sweep should hold on to. It is safe for concurrent use: the memo is
+// sharded and lock-striped, and every search keeps its own DFS stack.
 type Solver struct {
-	alg      core.Algorithm
-	packed   core.PackedAlgorithm
-	packable bool
-	visRange int
-	goal     func(config.Config) bool
+	k    step.Kernel
+	goal func(config.Config) bool
 
 	// maxStates bounds the number of distinct game states created; the
-	// n = 7 space has 3652, so the default (DefaultMaxStates) is only a
-	// guard against runaway larger-n solves.
+	// n = 8 space has 16689, so the default (DefaultMaxStates) is only
+	// a guard against runaway larger-n solves.
 	maxStates int
 
-	exact   map[config.Key128]*state
-	slow    map[string]*state
-	created int
+	memo *memo
 }
 
 // DefaultMaxStates bounds solver state creation when Options leave it
@@ -148,30 +258,25 @@ func NewSolver(alg core.Algorithm, goal func(config.Config) bool, maxStates int)
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
 	}
-	s := &Solver{
-		alg:       alg,
-		visRange:  alg.VisibilityRange(),
+	return &Solver{
+		k:         step.New(alg),
 		goal:      goal,
 		maxStates: maxStates,
-		exact:     make(map[config.Key128]*state),
-		slow:      make(map[string]*state),
+		memo:      newMemo(),
 	}
-	if pa, ok := alg.(core.PackedAlgorithm); ok && s.visRange <= vision.MaxPackedRange {
-		s.packed, s.packable = pa, true
-	}
-	return s
 }
 
 // StatesExplored returns the cumulative number of distinct game states
-// created across every solve so far.
-func (s *Solver) StatesExplored() int { return s.created }
+// decided across every solve so far (by every goroutine sharing the
+// solver).
+func (s *Solver) StatesExplored() int { return int(s.memo.created.Load()) }
 
 // Defeatable decides whether the adversary wins from the initial
 // configuration. It errors on inputs outside the game's domain: more
 // than MaxRobots robots, a disconnected initial pattern (the paper's
 // space is adjacency-connected; disconnection inside a game is a
 // terminal failure, but a run cannot meaningfully start there), or a
-// solve that exhausts the state budget.
+// solve that exhausts the state budget. Safe for concurrent use.
 func (s *Solver) Defeatable(initial config.Config) (bool, error) {
 	if initial.Len() == 0 || initial.Len() > MaxRobots {
 		return false, fmt.Errorf("adversary: %d robots outside the solver envelope [1,%d]", initial.Len(), MaxRobots)
@@ -180,11 +285,7 @@ func (s *Solver) Defeatable(initial config.Config) (bool, error) {
 		return false, fmt.Errorf("adversary: initial pattern %s is disconnected", initial.Key())
 	}
 	nodes := initial.Nodes()
-	st := s.state(nodes)
-	c := st.color
-	if c == unknown {
-		c = s.solve(nodes, st)
-	}
+	c := s.decide(nodes, newSearch(s))
 	switch c {
 	case safe:
 		return false, nil
@@ -196,157 +297,109 @@ func (s *Solver) Defeatable(initial config.Config) (bool, error) {
 	return false, fmt.Errorf("adversary: internal: unresolved color %d for %s", c, initial.Key())
 }
 
-// state returns the memo entry for a sorted node list, creating an
-// unknown-colored one on first sight.
-func (s *Solver) state(nodes []grid.Coord) *state {
-	if k, ok := config.Key128Nodes(nodes); ok {
-		st := s.exact[k]
-		if st == nil {
-			st = &state{}
-			s.exact[k] = st
-			s.created++
-		}
-		return st
+// decide returns the final color of a state: the published verdict if
+// one exists, otherwise a fresh solve through the given search.
+func (s *Solver) decide(nodes []grid.Coord, g *search) color {
+	key := keyOf(nodes)
+	if v, ok := s.memo.load(key); ok {
+		return v.color
 	}
-	k := config.New(nodes...).Key()
-	st := s.slow[k]
-	if st == nil {
-		st = &state{}
-		s.slow[k] = st
-		s.created++
-	}
-	return st
+	return g.solve(nodes, key)
 }
 
-// moveFor is the single Look-Compute step of the game dynamics, shared
-// by the solver and the heuristic schedulers so they cannot drift
-// apart: the packed fast path when the algorithm supports it, the
-// map-based View otherwise. cfg is consulted only on the unpacked
-// path (callers on the packed path may pass the zero Config); nodes
-// must be sorted by Q then R.
-func moveFor(alg core.Algorithm, packed core.PackedAlgorithm, packable bool, visRange int, cfg config.Config, nodes []grid.Coord, pos grid.Coord) core.Move {
-	if packable {
-		pv, _ := vision.LookPackedSorted(nodes, pos, visRange) // range checked at construction
-		return packed.ComputePacked(pv)
-	}
-	return alg.Compute(vision.Look(cfg, pos, visRange))
+// search is one goroutine's in-flight DFS: its private stack
+// membership. Searches sharing a Solver share its memo and nothing
+// else, which is what makes concurrent solving sound — a back edge is
+// a forceable cycle only against the searcher's own path.
+type search struct {
+	s      *Solver
+	onPath map[stateKey]struct{}
 }
 
-// expand computes the per-robot decisions of a state: the move of each
-// robot and the bitmask of movers. nodes must be sorted by Q then R.
-func (s *Solver) expand(cfg config.Config, nodes []grid.Coord, moves []core.Move) (movers uint16) {
-	for i, pos := range nodes {
-		m := moveFor(s.alg, s.packed, s.packable, s.visRange, cfg, nodes, pos)
-		moves[i] = m
-		if m.IsMove() {
-			movers |= 1 << uint(i)
-		}
-	}
-	return movers
+func newSearch(s *Solver) *search {
+	return &search{s: s, onPath: make(map[stateKey]struct{})}
 }
 
-// stepOutcome classifies one adversary move's immediate effect.
-type stepOutcome uint8
-
-const (
-	stepOK stepOutcome = iota
-	stepCollision
-	stepDisconnected
-)
-
-// applySubset executes one adversary move: the robots in sub (a bitmask
-// over sorted node indices, sub ⊆ movers) step simultaneously, the rest
-// stay. It returns the successor configuration and whether the move hit
-// a terminal failure instead.
-func applySubset(nodes []grid.Coord, moves []core.Move, sub uint16) (config.Config, stepOutcome) {
-	var targets [MaxRobots]grid.Coord
-	var moving [MaxRobots]bool
-	for i, pos := range nodes {
-		if sub&(1<<uint(i)) != 0 {
-			targets[i] = moves[i].Apply(pos)
-			moving[i] = true
-		} else {
-			targets[i] = pos
-			moving[i] = false
-		}
+// expand computes the per-robot decisions of a state through the
+// shared kernel: the move of each robot and the bitmask of movers.
+// nodes must be sorted by Q then R.
+func (s *Solver) expand(cfg config.Config, nodes []grid.Coord, moves []core.Move) uint16 {
+	if !s.k.Packable() && cfg.Len() == 0 {
+		cfg = config.New(nodes...)
 	}
-	if coll := sim.DetectCollisionSorted(nodes, targets[:len(nodes)], moving[:len(nodes)]); coll != nil {
-		return config.Config{}, stepCollision
-	}
-	next := config.New(targets[:len(nodes)]...)
-	if !next.Connected() {
-		return next, stepDisconnected
-	}
-	return next, stepOK
+	s.k.Moves(cfg, nodes, moves)
+	return uint16(step.MoverMask(moves))
 }
 
-// solve colors the state by depth-first search. On entry st is unknown;
-// on return it is safe or defeated — or back to unknown when the result
-// is aborted (budget exhausted), so a later, larger-budget solve can
-// retry. Recursion depth is bounded by the number of states (3652 for
-// the full n = 7 game), well within Go's growable stacks.
-func (s *Solver) solve(nodes []grid.Coord, st *state) color {
-	if s.created > s.maxStates {
+// solve colors an undecided state by depth-first search and publishes
+// the final verdict. It returns safe or defeated — or aborted (budget
+// exhausted), publishing nothing, so a later larger-budget solve can
+// retry. Recursion depth is bounded by the number of states (16689 for
+// the full n = 8 game), well within Go's growable stacks.
+func (g *search) solve(nodes []grid.Coord, key stateKey) color {
+	s := g.s
+	if int(s.memo.created.Load())+len(g.onPath) > s.maxStates {
 		return aborted
 	}
-	st.color = gray
+	g.onPath[key] = struct{}{}
+	defer delete(g.onPath, key)
 	n := len(nodes)
 	// On the packed path the Config is consulted only at terminal
 	// no-mover states (the goal check), so defer building it — one
 	// fewer O(n) allocation per explored state.
 	var cfg config.Config
-	if !s.packable {
+	if !s.k.Packable() {
 		cfg = config.New(nodes...)
 	}
 	var moves [MaxRobots]core.Move
-	movers := s.expand(cfg, nodes, moves[:n])
+	movers := step.Mask(s.expand(cfg, nodes, moves[:n]))
 	if movers == 0 {
 		// Terminal: no activation changes anything. Gathered is the
 		// protagonist's goal; anything else is a stall the adversary
 		// holds forever (activating everyone each round keeps even a
 		// per-robot fairness requirement satisfied).
-		if s.packable {
+		if s.k.Packable() {
 			cfg = config.New(nodes...)
 		}
+		v := verdict{color: defeated}
 		if s.goal(cfg) {
-			st.color = safe
-		} else {
-			st.color, st.choice = defeated, 0
+			v = verdict{color: safe}
 		}
-		return st.color
+		s.memo.publish(key, v)
+		return v.color
 	}
 	// Enumerate the non-empty subsets of the movers (standard submask
 	// walk, descending from the full mover set — so the FSYNC-like
 	// full activation, which usually heads straight to gathering, is
 	// explored first and safe regions close quickly).
 	for sub := movers; sub != 0; sub = (sub - 1) & movers {
-		next, outcome := applySubset(nodes, moves[:n], sub)
-		if outcome != stepOK {
+		next, outcome := step.Apply(nodes, moves[:n], sub, make([]grid.Coord, 0, n))
+		if outcome != step.OK {
 			// Collision or disconnection: terminal failure, adversary wins.
-			st.color, st.choice = defeated, sub
+			s.memo.publish(key, verdict{color: defeated, choice: sub})
 			return defeated
 		}
-		cnodes := next.AppendNodes(make([]grid.Coord, 0, n))
-		cst := s.state(cnodes)
-		cc := cst.color
-		if cc == unknown {
-			cc = s.solve(cnodes, cst)
+		ckey := keyOf(next)
+		var cc color
+		if v, ok := s.memo.load(ckey); ok {
+			cc = v.color
+		} else if _, on := g.onPath[ckey]; on {
+			// Back edge: the successor sits on this search's own path,
+			// so the adversary can replay the closing segment forever.
+			cc = gray
+		} else {
+			cc = g.solve(next, ckey)
 		}
 		switch cc {
-		case gray:
-			// Back edge: this state sits on a cycle the adversary can
-			// replay forever. The defeat propagates up the stack to
-			// every state on the cycle as the recursion unwinds.
-			st.color, st.choice = defeated, sub
-			return defeated
-		case defeated:
-			st.color, st.choice = defeated, sub
+		case gray, defeated:
+			// A defeated successor — or a forceable cycle, which
+			// defeats every state on it as the recursion unwinds.
+			s.memo.publish(key, verdict{color: defeated, choice: sub})
 			return defeated
 		case aborted:
-			st.color = unknown
 			return aborted
 		}
 	}
-	st.color = safe
+	s.memo.publish(key, verdict{color: safe})
 	return safe
 }

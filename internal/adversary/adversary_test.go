@@ -1,6 +1,9 @@
 package adversary
 
 import (
+	"fmt"
+	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/config"
@@ -318,5 +321,124 @@ func TestSolverMemoSharing(t *testing.T) {
 	}
 	if v2.States != 0 {
 		t.Fatalf("second decision explored %d new states, want 0", v2.States)
+	}
+}
+
+// TestForkSharesSolver: a fork decides with the same shared game graph
+// — a pattern the parent already decided costs the fork zero new
+// states — and produces the identical verdict and witness.
+func TestForkSharesSolver(t *testing.T) {
+	parent := New(Options{NoHeuristics: true})
+	line := config.Line(grid.Origin, grid.E, 7)
+	v1, err := parent.Decide(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork := parent.Fork()
+	v2, err := fork.Decide(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.States != 0 {
+		t.Fatalf("fork re-explored %d states", v2.States)
+	}
+	if v1.Kind != v2.Kind || v1.Depth != v2.Depth || v1.ReplayStatus != v2.ReplayStatus {
+		t.Fatalf("fork verdict diverges: %+v vs %+v", v1, v2)
+	}
+	if parent.StatesExplored() != fork.StatesExplored() {
+		t.Fatal("fork does not share the solver's game graph")
+	}
+}
+
+// TestConcurrentSolverRace hammers one shared solver from many
+// goroutines over interleaved slices of the full n = 5 and n = 6
+// spaces (run under -race in CI): every concurrent verdict must match
+// the sequential reference, and the shared memo must end up with a
+// consistent state count whatever the interleaving.
+func TestConcurrentSolverRace(t *testing.T) {
+	for _, n := range []int{5, 6} {
+		patterns := enumerate.Connected(n)
+		// Sequential reference.
+		ref := New(Options{NoHeuristics: true})
+		want := make([]VerdictKind, len(patterns))
+		for i, c := range patterns {
+			v, err := ref.Decide(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = v.Kind
+		}
+		shared := New(Options{NoHeuristics: true})
+		const workers = 8
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				fork := shared.Fork()
+				for i := w; i < len(patterns); i += workers {
+					v, err := fork.Decide(patterns[i])
+					if err != nil {
+						errs <- err
+						return
+					}
+					if v.Kind != want[i] {
+						errs <- fmt.Errorf("n=%d pattern %d: concurrent %v, sequential %v", n, i, v.Kind, want[i])
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		// The colored graphs agree in size: both decided the whole space.
+		if shared.StatesExplored() != ref.StatesExplored() {
+			t.Fatalf("n=%d: concurrent graph has %d states, sequential %d",
+				n, shared.StatesExplored(), ref.StatesExplored())
+		}
+	}
+}
+
+// TestConcurrentWitnessesDeterministic: witnesses read back from a
+// concurrently-colored game graph equal the sequential ones — the
+// stored winning choices are interleaving-independent.
+func TestConcurrentWitnessesDeterministic(t *testing.T) {
+	patterns := enumerate.Connected(5)
+	ref := New(Options{NoHeuristics: true})
+	shared := New(Options{NoHeuristics: true})
+	const workers = 4
+	var wg sync.WaitGroup
+	got := make([]*Witness, len(patterns))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fork := shared.Fork()
+			for i := w; i < len(patterns); i += workers {
+				if v, err := fork.Decide(patterns[i]); err == nil {
+					got[i] = v.Witness
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, c := range patterns {
+		v, err := ref.Decide(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (v.Witness == nil) != (got[i] == nil) {
+			t.Fatalf("pattern %d: witness presence diverges", i)
+		}
+		if v.Witness == nil {
+			continue
+		}
+		if !reflect.DeepEqual(v.Witness, got[i]) {
+			t.Fatalf("pattern %d (%s): concurrent witness %+v, sequential %+v", i, c.Key(), got[i], v.Witness)
+		}
 	}
 }

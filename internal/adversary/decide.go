@@ -92,8 +92,10 @@ type Verdict struct {
 // first, the exact memoized safety-game solver for whatever they
 // cannot defeat. It keeps one solver (and its colored game graph)
 // across calls, so deciding a whole pattern space shares all state.
-// Not safe for concurrent use; the sweep integration runs it
-// single-threaded, which also keeps per-pattern States deterministic.
+// One Adversary is not safe for concurrent use (the heuristic
+// schedulers carry per-round scratch), but the solver it holds is:
+// a worker pool decides patterns in parallel by giving each worker its
+// own Fork — private heuristics, one shared concurrent game graph.
 type Adversary struct {
 	opts       Options
 	solver     *Solver
@@ -116,6 +118,19 @@ func New(opts Options) *Adversary {
 		a.solver = NewSolver(opts.Alg, opts.Goal, opts.MaxStates)
 	}
 	return a
+}
+
+// Fork returns a pipeline for another worker: fresh heuristic
+// schedulers (they keep per-round scratch and must not be shared), the
+// same shared solver and memoized game graph. Verdicts are identical
+// whichever fork decides a pattern; only the per-pattern States counts
+// depend on which fork got to the shared states first.
+func (a *Adversary) Fork() *Adversary {
+	b := &Adversary{opts: a.opts, solver: a.solver}
+	if !a.opts.NoHeuristics {
+		b.heuristics = Heuristics(a.opts.Alg)
+	}
+	return b
 }
 
 // StatesExplored returns the cumulative size of the solver's explored

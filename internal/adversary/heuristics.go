@@ -5,7 +5,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/sched"
-	"repro/internal/vision"
+	"repro/internal/step"
 )
 
 // The heuristic schedulers are cheap damage-seeking adversaries run as
@@ -23,24 +23,20 @@ import (
 // steering one step ahead toward spread and breakage
 // (MaxDiameterGreedy).
 
-// heuristicCore computes the per-round mover set for the heuristics.
-// Not safe for concurrent use — construct one scheduler per run or per
-// worker, like sched.RandomSubset.
+// heuristicCore computes the per-round mover set for the heuristics,
+// through the shared transition kernel (internal/step) — the same
+// look→compute the solver and the simulators run, so the pre-filters
+// and the game cannot drift apart. Not safe for concurrent use —
+// construct one scheduler per run or per worker, like
+// sched.RandomSubset.
 type heuristicCore struct {
-	alg      core.Algorithm
-	packed   core.PackedAlgorithm
-	packable bool
-	visRange int
-	movers   []int       // scratch: mover indices, reused across rounds
-	moves    []core.Move // scratch: per-robot decisions
+	k      step.Kernel
+	movers []int       // scratch: mover indices, reused across rounds
+	moves  []core.Move // scratch: per-robot decisions
 }
 
 func newHeuristicCore(alg core.Algorithm) heuristicCore {
-	h := heuristicCore{alg: alg, visRange: alg.VisibilityRange()}
-	if pa, ok := alg.(core.PackedAlgorithm); ok && h.visRange <= vision.MaxPackedRange {
-		h.packed, h.packable = pa, true
-	}
-	return h
+	return heuristicCore{k: step.New(alg)}
 }
 
 // compute fills the scratch decision buffers for the round and returns
@@ -52,11 +48,11 @@ func (h *heuristicCore) compute(robots []grid.Coord) []int {
 	}
 	h.moves, h.movers = h.moves[:n], h.movers[:0]
 	var cfg config.Config
-	if !h.packable {
+	if !h.k.Packable() {
 		cfg = config.New(robots...)
 	}
 	for i, pos := range robots {
-		m := moveFor(h.alg, h.packed, h.packable, h.visRange, cfg, robots, pos)
+		m := h.k.MoveAt(cfg, robots, pos)
 		h.moves[i] = m
 		if m.IsMove() {
 			h.movers = append(h.movers, i)
@@ -197,17 +193,13 @@ func (g *MaxDiameterGreedy) SelectConfig(robots []grid.Coord, round int) []int {
 // computed): terminal is true for a collision or disconnection
 // (immediate defeat), otherwise the score is the successor
 // configuration's diameter. It applies the same step the solver does
-// (applySubset), so lookahead and game never disagree.
+// (step.Apply), so lookahead and game never disagree.
 func (g *MaxDiameterGreedy) score(robots []grid.Coord, active []int) (score int, terminal bool) {
-	var sub uint16
-	for _, i := range active {
-		sub |= 1 << uint(i)
-	}
-	next, outcome := applySubset(robots, g.h.moves, sub)
-	if outcome != stepOK {
+	next, outcome := step.Apply(robots, g.h.moves, step.MaskOf(active), make([]grid.Coord, 0, len(robots)))
+	if outcome != step.OK {
 		return 0, true
 	}
-	return next.Diameter(), false
+	return config.New(next...).Diameter(), false
 }
 
 // Heuristics returns the standard pre-filter battery, in the order

@@ -8,6 +8,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/step"
 )
 
 // DefeatKind classifies how a witness schedule defeats the algorithm.
@@ -162,7 +163,12 @@ func (w *Witness) Verify(alg core.Algorithm, goal func(config.Config) bool) (sim
 // winning choices: walk from the initial state, at each defeated state
 // replay its stored activation subset, and stop at a terminal failure
 // or when a pattern recurs (closing the cycle). Solve must already
-// have decided the pattern defeated.
+// have decided the pattern defeated. Under concurrent solving a choice
+// may point at a state another search defeated via a back edge but has
+// not yet published (its defeat propagates up that search's stack); the
+// walk then solves the state itself — the verdict is unique and the
+// stored choices deterministic, so the reconstructed witness is the
+// same whichever search publishes first.
 func (s *Solver) witness(initial config.Config) (*Witness, error) {
 	w := &Witness{Initial: initial}
 	nodes := initial.Nodes()
@@ -178,13 +184,23 @@ func (s *Solver) witness(initial config.Config) (*Witness, error) {
 			return w, nil
 		}
 		seen[key] = len(schedule)
-		st := s.state(nodes)
-		if st.color != defeated {
-			return nil, fmt.Errorf("adversary: internal: witness walk reached %v state %s", st.color, key)
+		skey := keyOf(nodes)
+		v, ok := s.memo.load(skey)
+		if !ok {
+			// In-flight elsewhere: decide it here (see above).
+			if c := s.decide(nodes, newSearch(s)); c != defeated {
+				return nil, fmt.Errorf("adversary: internal: witness walk reached %v state %s", c, key)
+			}
+			if v, ok = s.memo.load(skey); !ok {
+				return nil, fmt.Errorf("adversary: internal: witness walk solved unpublished state %s", key)
+			}
+		}
+		if v.color != defeated {
+			return nil, fmt.Errorf("adversary: internal: witness walk reached %v state %s", v.color, key)
 		}
 		n := len(nodes)
 		var moves [MaxRobots]core.Move
-		movers := s.expand(cfg, nodes, moves[:n])
+		movers := step.Mask(s.expand(cfg, nodes, moves[:n]))
 		if movers == 0 {
 			if s.goal(cfg) {
 				return nil, fmt.Errorf("adversary: internal: witness walk reached gathered %s", key)
@@ -193,34 +209,22 @@ func (s *Solver) witness(initial config.Config) (*Witness, error) {
 			w.Kind = KindStall
 			return w, nil
 		}
-		sub := st.choice
+		sub := v.choice
 		if sub&movers != sub || sub == 0 {
 			return nil, fmt.Errorf("adversary: internal: stored choice %#x is not a mover subset at %s", sub, key)
 		}
-		schedule = append(schedule, subsetIndices(sub))
-		next, outcome := applySubset(nodes, moves[:n], sub)
+		schedule = append(schedule, sub.Indices())
+		next, outcome := step.Apply(nodes, moves[:n], sub, make([]grid.Coord, 0, n))
 		switch outcome {
-		case stepCollision:
+		case step.Collided:
 			w.Prefix = schedule
 			w.Kind = KindCollision
 			return w, nil
-		case stepDisconnected:
+		case step.Disconnected:
 			w.Prefix = schedule
 			w.Kind = KindDisconnection
 			return w, nil
 		}
-		nodes = next.AppendNodes(make([]grid.Coord, 0, n))
+		nodes = next
 	}
-}
-
-// subsetIndices expands an activation bitmask into the sorted index
-// list sched.Scheduler.Select returns.
-func subsetIndices(sub uint16) []int {
-	out := make([]int, 0, 8)
-	for i := 0; sub != 0; i, sub = i+1, sub>>1 {
-		if sub&1 != 0 {
-			out = append(out, i)
-		}
-	}
-	return out
 }

@@ -13,7 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/sim"
-	"repro/internal/vision"
+	"repro/internal/step"
 )
 
 // Scheduler selects which robots are activated each round.
@@ -41,6 +41,22 @@ type ConfigScheduler interface {
 	SelectConfig(robots []grid.Coord, round int) []int
 }
 
+// Periodic is implemented by deterministic schedulers whose selection
+// depends only on the robot count and the round number modulo a fixed
+// period: Select(n, r) == Select(n, r+Period(n)) for every r. For such
+// a scheduler the execution state is exactly (pattern, round mod
+// period) — the dynamics are deterministic and translation-invariant —
+// so Run keys its cycle detection on that pair and a repeat is a
+// proved livelock. Without a declared period, a repeated pattern under
+// partial activation proves nothing (a different later activation may
+// still escape), which is why non-periodic partial-activation defeats
+// historically surfaced as RoundLimit instead of Livelock.
+type Periodic interface {
+	Scheduler
+	// Period returns the scheduler's period for n robots (at least 1).
+	Period(n int) int
+}
+
 // FSYNC activates every robot every round (the paper's model).
 type FSYNC struct{}
 
@@ -56,6 +72,9 @@ func (FSYNC) Select(n, _ int) []int {
 	return out
 }
 
+// Period implements Periodic: the FSYNC selection never varies.
+func (FSYNC) Period(int) int { return 1 }
+
 // RoundRobin activates exactly one robot per round, cycling through the
 // sorted positions — the centralized (CENT) adversary.
 type RoundRobin struct{}
@@ -65,6 +84,9 @@ func (RoundRobin) Name() string { return "round-robin" }
 
 // Select implements Scheduler.
 func (RoundRobin) Select(n, round int) []int { return []int{round % n} }
+
+// Period implements Periodic: the rotation closes after n rounds.
+func (RoundRobin) Period(n int) int { return n }
 
 // RandomSubset activates a uniformly random non-empty subset each round —
 // a probabilistic SSYNC adversary. The zero value panics; build with
@@ -116,20 +138,28 @@ func (s *RandomSubset) Select(n, _ int) []int {
 // for a Look). The outcome semantics match sim.Run; with the FSYNC
 // scheduler the two are identical.
 //
-// Like sim.Run, the loop rides the packed engine where it can: views go
-// through core.PackedAlgorithm's memoized fast path when the algorithm
-// provides one, scratch buffers are reused across rounds, and cycle
+// Like sim.Run, the loop rides the shared transition kernel
+// (internal/step): views go through the memoized packed fast path when
+// the algorithm provides one, collisions are checked by the kernel's
+// sorted detector, scratch buffers are reused across rounds, and cycle
 // detection keys patterns with config.PatternSet instead of strings.
+//
+// Cycle detection under partial activation: a repeated pattern alone
+// proves a livelock only when the future schedule is determined. For
+// schedulers that declare a period (Periodic — FSYNC, RoundRobin), the
+// execution state is exactly (pattern, round mod period), so Run keys
+// the cycle set on that pair and reports Livelock on a repeat; the
+// deterministic partial-activation defeats (CENT's 166 patterns) are
+// detected within a couple of rotations instead of burning the whole
+// round budget into RoundLimit. Non-periodic schedulers keep the
+// conservative historical rule: only patterns reached by a
+// full-activation round enter the cycle set.
 func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Options) sim.Result {
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = sim.DefaultMaxRounds
 	}
-	visRange := alg.VisibilityRange()
-	packed, packable := alg.(core.PackedAlgorithm)
-	if packable && visRange > vision.MaxPackedRange {
-		packable = false
-	}
+	k := step.New(alg)
 	goal := opts.Goal
 	if goal == nil {
 		goal = config.GoalFor(initial.Len())
@@ -139,7 +169,16 @@ func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Option
 	if opts.RecordTrace {
 		res.Trace = append(res.Trace, cur)
 	}
-	var seen *config.PatternSet
+	n := initial.Len()
+	cs, adaptive := s.(ConfigScheduler)
+	period := 0 // 0: no declared period — full-activation rounds only
+	if per, ok := s.(Periodic); ok && !adaptive {
+		if period = per.Period(n); period < 1 {
+			period = 1
+		}
+	}
+	var seen *config.PatternSet    // phase-0 set (pooled via opts.CycleSet)
+	var phases []config.PatternSet // phase-1..period-1 sets, lazily zero-valued
 	if opts.DetectCycles {
 		if opts.CycleSet != nil {
 			seen = opts.CycleSet
@@ -147,13 +186,14 @@ func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Option
 		} else {
 			seen = new(config.PatternSet)
 		}
-		seen.Add(cur)
+		seen.Add(cur) // the initial state sits at phase 0 either way
+		if period > 1 {
+			phases = make([]config.PatternSet, period-1)
+		}
 	}
-	n := initial.Len()
 	robots := make([]grid.Coord, 0, n)
 	targets := make([]grid.Coord, n)
 	moving := make([]bool, n)
-	cs, adaptive := s.(ConfigScheduler)
 	idle := 0 // consecutive rounds with no movement
 	for round := 0; round < maxRounds; round++ {
 		robots = cur.AppendNodes(robots[:0])
@@ -170,20 +210,13 @@ func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Option
 			moving[i] = false
 		}
 		for _, i := range active {
-			var m core.Move
-			if packable {
-				pv, _ := vision.LookPackedSorted(robots, robots[i], visRange)
-				m = packed.ComputePacked(pv)
-			} else {
-				m = alg.Compute(vision.Look(cur, robots[i], visRange))
-			}
-			if m.IsMove() {
+			if m := k.MoveAt(cur, robots, robots[i]); m.IsMove() {
 				targets[i] = m.Apply(robots[i])
 				moving[i] = true
 				moved++
 			}
 		}
-		if coll := sim.DetectCollisionSorted(robots, targets, moving); coll != nil {
+		if coll := step.DetectCollision(robots, targets, moving); coll != nil {
 			res.Status = sim.Collision
 			res.Collision = coll
 			res.Final = cur
@@ -193,7 +226,10 @@ func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Option
 			// Under partial activation an idle round is not conclusive:
 			// a different activation set may still move. Only a full
 			// activation (or a long idle streak under FSYNC-equivalent
-			// semantics) decides.
+			// semantics) decides. Idle rounds never enter the cycle
+			// sets: for a periodic scheduler a whole idle period means
+			// no activated robot wants to move, which resolves through
+			// this stall path, not as a livelock.
 			if len(active) == len(robots) || idle >= 4*len(robots) {
 				if goal(cur) {
 					res.Status = sim.Gathered
@@ -218,9 +254,22 @@ func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Option
 			res.Status = sim.Disconnected
 			return res
 		}
-		if opts.DetectCycles && len(active) == len(robots) && !seen.Add(cur) {
-			res.Status = sim.Livelock
-			return res
+		if opts.DetectCycles {
+			if period > 0 {
+				// The state entering round round+1 is (cur, phase); a
+				// repeat replays the same deterministic future forever.
+				set := seen
+				if ph := (round + 1) % period; ph != 0 {
+					set = &phases[ph-1]
+				}
+				if !set.Add(cur) {
+					res.Status = sim.Livelock
+					return res
+				}
+			} else if len(active) == len(robots) && !seen.Add(cur) {
+				res.Status = sim.Livelock
+				return res
+			}
 		}
 	}
 	res.Status = sim.RoundLimit

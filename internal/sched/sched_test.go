@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/enumerate"
 	"repro/internal/grid"
 	"repro/internal/sim"
 )
@@ -118,6 +119,63 @@ func TestRunIdleStallsUnderRoundRobin(t *testing.T) {
 	res := Run(core.Idle{}, config.Line(grid.Origin, grid.E, 7), RoundRobin{}, sim.Options{MaxRounds: 500})
 	if res.Status != sim.Stalled {
 		t.Fatalf("idle under round-robin: %v, want stalled", res.Status)
+	}
+}
+
+// TestPeriodicDeclarations pins the deterministic schedulers' periods:
+// the (pattern, round mod period) cycle-detection state is only sound
+// if Select really repeats with that period.
+func TestPeriodicDeclarations(t *testing.T) {
+	for _, n := range []int{1, 3, 7} {
+		for _, s := range []Periodic{FSYNC{}, RoundRobin{}} {
+			p := s.Period(n)
+			if p < 1 {
+				t.Fatalf("%s: period %d", s.Name(), p)
+			}
+			for round := 0; round < 3*p; round++ {
+				a, b := s.Select(n, round), s.Select(n, round+p)
+				if len(a) != len(b) {
+					t.Fatalf("%s n=%d: round %d selection differs across one period", s.Name(), n, round)
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("%s n=%d: round %d selection differs across one period", s.Name(), n, round)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRoundRobinLivelocksAreDetected: RoundRobin declares period n, so
+// its deterministic partial-activation defeats must surface as
+// Livelock — detected within a few rotations — and never as
+// RoundLimit. Before the (config, round mod period) cycle keying, the
+// full n = 6 CENT sweep burned its whole round budget on every defeat.
+func TestRoundRobinLivelocksAreDetected(t *testing.T) {
+	var cycles config.PatternSet
+	livelocks, maxRounds := 0, 0
+	for _, c := range enumerate.Connected(6) {
+		res := Run(core.Gatherer{}, c, RoundRobin{}, sim.Options{
+			MaxRounds: 2000, DetectCycles: true, StopOnDisconnect: true, CycleSet: &cycles,
+		})
+		if res.Status == sim.RoundLimit {
+			t.Fatalf("%s: round-limit under a periodic scheduler — cycle detection failed", c.Key())
+		}
+		if res.Status == sim.Livelock {
+			livelocks++
+			if res.Rounds > maxRounds {
+				maxRounds = res.Rounds
+			}
+		}
+	}
+	if livelocks == 0 {
+		t.Fatal("no CENT livelock at n=6; the detection path was never exercised")
+	}
+	// Detection is bounded by the distinct (pattern, phase) pairs of
+	// the trajectory — tens of moving rounds, not the 2000 budget.
+	if maxRounds >= 2000 {
+		t.Fatalf("livelock detected only at the round budget (%d rounds)", maxRounds)
 	}
 }
 

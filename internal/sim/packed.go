@@ -2,24 +2,25 @@ package sim
 
 import (
 	"repro/internal/config"
-	"repro/internal/core"
 	"repro/internal/grid"
-	"repro/internal/vision"
+	"repro/internal/step"
 )
 
 // This file is the packed fast path of the round loop. sim.Run routes
 // here when the algorithm implements core.PackedAlgorithm at a packable
 // range; results are identical to the legacy path (the root package's
 // equivalence test compares full exhaustive reports byte for byte), but
-// the loop holds the configuration as a reused sorted slice, takes views
-// as bitmasks, decides moves through the memo table, detects collisions
-// and disconnection with index scans instead of maps, and keys cycle
-// detection with config.Key64Nodes — so a steady-state round allocates
-// nothing.
+// the loop holds the configuration as a reused sorted slice and drives
+// every transition through the shared kernel (internal/step): views as
+// bitmasks, moves through the memo table, collision and disconnection
+// checks with index scans instead of maps — so a steady-state round
+// allocates nothing. The FSYNC round is the kernel's step with the
+// full-activation choice; sched.Run and the adversary solver apply the
+// same kernel under partial activation.
 
 // runPacked executes the run with per-run scratch buffers. Semantics
 // mirror the legacy loop in sim.go exactly; both evolve together.
-func runPacked(alg core.PackedAlgorithm, initial config.Config, opts Options) Result {
+func runPacked(k step.Kernel, initial config.Config, opts Options) Result {
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds
@@ -28,7 +29,6 @@ func runPacked(alg core.PackedAlgorithm, initial config.Config, opts Options) Re
 	if goal == nil {
 		goal = config.GoalFor(initial.Len())
 	}
-	visRange := alg.VisibilityRange()
 	res := Result{Final: initial}
 	if opts.RecordTrace {
 		res.Trace = append(res.Trace, initial)
@@ -53,8 +53,7 @@ func runPacked(alg core.PackedAlgorithm, initial config.Config, opts Options) Re
 	for round := 0; round < maxRounds; round++ {
 		moved := 0
 		for i, pos := range cur {
-			pv, _ := vision.LookPackedSorted(cur, pos, visRange) // range checked by Run
-			if m := alg.ComputePacked(pv); m.IsMove() {
+			if m := k.MoveAt(config.Config{}, cur, pos); m.IsMove() {
 				targets[i] = pos.Step(m.Direction())
 				moving[i] = true
 				moved++
@@ -63,7 +62,7 @@ func runPacked(alg core.PackedAlgorithm, initial config.Config, opts Options) Re
 				moving[i] = false
 			}
 		}
-		if coll := detectCollisionSorted(cur, targets[:len(cur)], moving[:len(cur)]); coll != nil {
+		if coll := step.DetectCollision(cur, targets[:len(cur)], moving[:len(cur)]); coll != nil {
 			res.Status = Collision
 			res.Collision = coll
 			res.Final = config.New(cur...)
@@ -81,14 +80,12 @@ func runPacked(alg core.PackedAlgorithm, initial config.Config, opts Options) Re
 		}
 		res.Rounds++
 		res.Moves += moved
-		next = append(next[:0], targets[:len(cur)]...)
-		insertionSortCoords(next)
-		next = dedupSortedCoords(next)
+		next = step.Successor(targets[:len(cur)], next[:0])
 		cur, next = next, cur
 		if opts.RecordTrace {
 			res.Trace = append(res.Trace, config.New(cur...))
 		}
-		if opts.StopOnDisconnect && !connectedSorted(cur) {
+		if opts.StopOnDisconnect && !step.Connected(cur) {
 			res.Status = Disconnected
 			res.Final = config.New(cur...)
 			return res
@@ -104,120 +101,10 @@ func runPacked(alg core.PackedAlgorithm, initial config.Config, opts Options) Re
 	return res
 }
 
-// indexSorted returns the index of v in the sorted node list, or -1.
-func indexSorted(nodes []grid.Coord, v grid.Coord) int {
-	lo, hi := 0, len(nodes)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		n := nodes[mid]
-		if n.Q < v.Q || (n.Q == v.Q && n.R < v.R) {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(nodes) && nodes[lo] == v {
-		return lo
-	}
-	return -1
-}
-
 // DetectCollisionSorted is DetectCollision for callers that keep the
 // robot list in Config order (sorted by Q then R): same rules, same
-// first violation, no per-call maps. The alternative schedulers use it.
+// first violation, no per-call maps. It is the kernel's detector
+// (step.DetectCollision), re-exported here for the schedulers' sake.
 func DetectCollisionSorted(robots, targets []grid.Coord, moving []bool) *CollisionInfo {
-	return detectCollisionSorted(robots, targets, moving)
-}
-
-// detectCollisionSorted is DetectCollision for a sorted robot list,
-// replacing the two per-round maps with binary searches and an O(n²)
-// target scan — a win for the small n of every workload here. It finds
-// the same first violation as DetectCollision (same iteration order,
-// same rule precedence).
-func detectCollisionSorted(robots, targets []grid.Coord, moving []bool) *CollisionInfo {
-	for i := range robots {
-		if !moving[i] {
-			continue
-		}
-		t := targets[i]
-		if j := indexSorted(robots, t); j >= 0 {
-			if !moving[j] {
-				return &CollisionInfo{Kind: OntoStationary, Node: t}
-			}
-			if targets[j] == robots[i] {
-				return &CollisionInfo{Kind: Swap, Node: t}
-			}
-		}
-		count := 0
-		for j := range targets {
-			if moving[j] && targets[j] == t {
-				count++
-			}
-		}
-		if count > 1 {
-			return &CollisionInfo{Kind: Merge, Node: t}
-		}
-	}
-	return nil
-}
-
-// connectedSorted reports whether the sorted node set induces a
-// connected subgraph, using a fixed-size visited mask and index stack so
-// the per-round check allocates nothing. Sets larger than 64 nodes fall
-// back to the map-based check (no current workload comes close).
-func connectedSorted(nodes []grid.Coord) bool {
-	n := len(nodes)
-	if n <= 1 {
-		return true
-	}
-	if n > 64 {
-		return config.New(nodes...).Connected()
-	}
-	var visited uint64 = 1
-	var stack [64]int8
-	stack[0] = 0
-	sp := 1
-	count := 1
-	for sp > 0 {
-		sp--
-		v := nodes[stack[sp]]
-		for _, d := range grid.Directions {
-			j := indexSorted(nodes, v.Step(d))
-			if j >= 0 && visited&(1<<uint(j)) == 0 {
-				visited |= 1 << uint(j)
-				count++
-				stack[sp] = int8(j)
-				sp++
-			}
-		}
-	}
-	return count == n
-}
-
-// insertionSortCoords sorts a small coord slice in place by Q then R —
-// closure-free, so the hot loop stays allocation-free.
-func insertionSortCoords(cs []grid.Coord) {
-	for i := 1; i < len(cs); i++ {
-		v := cs[i]
-		j := i - 1
-		for j >= 0 && (cs[j].Q > v.Q || (cs[j].Q == v.Q && cs[j].R > v.R)) {
-			cs[j+1] = cs[j]
-			j--
-		}
-		cs[j+1] = v
-	}
-}
-
-// dedupSortedCoords removes adjacent duplicates in place.
-func dedupSortedCoords(cs []grid.Coord) []grid.Coord {
-	if len(cs) == 0 {
-		return cs
-	}
-	out := cs[:1]
-	for _, c := range cs[1:] {
-		if c != out[len(out)-1] {
-			out = append(out, c)
-		}
-	}
-	return out
+	return step.DetectCollision(robots, targets, moving)
 }

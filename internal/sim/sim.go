@@ -10,6 +10,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/step"
 	"repro/internal/vision"
 )
 
@@ -61,36 +62,25 @@ func (s Status) String() string {
 func (s Status) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
 
 // CollisionKind distinguishes the three prohibited behaviors of §II-A.
-type CollisionKind uint8
+// It is the kernel's type (internal/step owns the collision rules);
+// the alias keeps sim's historical API intact.
+type CollisionKind = step.CollisionKind
 
 // The three collision rules.
 const (
 	// Swap: two robots traverse the same edge in opposite directions
 	// (rule (a)).
-	Swap CollisionKind = iota
+	Swap = step.Swap
 	// OntoStationary: a robot moves onto a node whose occupant stays
 	// (rule (b)).
-	OntoStationary
+	OntoStationary = step.OntoStationary
 	// Merge: several robots move onto the same empty node (rule (c)).
-	Merge
+	Merge = step.Merge
 )
 
-var collisionNames = [...]string{Swap: "swap", OntoStationary: "onto-stationary", Merge: "merge"}
-
-// String returns the collision rule name.
-func (k CollisionKind) String() string {
-	if int(k) < len(collisionNames) {
-		return collisionNames[k]
-	}
-	return fmt.Sprintf("CollisionKind(%d)", uint8(k))
-}
-
-// CollisionInfo describes the first collision detected in a round.
-type CollisionInfo struct {
-	Kind CollisionKind
-	// Node is the contested node (the target node of the offending move).
-	Node grid.Coord
-}
+// CollisionInfo describes the first collision detected in a round
+// (aliased from the kernel, which detects them).
+type CollisionInfo = step.CollisionInfo
 
 // Result summarizes a run.
 type Result struct {
@@ -152,8 +142,8 @@ const DefaultMaxRounds = 10000
 // on the allocation-free fast path (see packed.go); results are
 // identical either way.
 func Run(alg core.Algorithm, initial config.Config, opts Options) Result {
-	if pa, ok := alg.(core.PackedAlgorithm); ok && alg.VisibilityRange() <= vision.MaxPackedRange {
-		return runPacked(pa, initial, opts)
+	if _, ok := alg.(core.PackedAlgorithm); ok && alg.VisibilityRange() <= vision.MaxPackedRange {
+		return runPacked(step.New(alg), initial, opts)
 	}
 	return runLegacy(alg, initial, opts)
 }

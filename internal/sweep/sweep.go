@@ -91,17 +91,22 @@ type Spec struct {
 	// concurrently.
 	Progress func(done, total int)
 	// Adversary switches the sweep from scheduler runs to exact
-	// adversarial decision (experiment E13): each pattern is handed to
-	// internal/adversary — heuristic pre-filter schedulers first, the
-	// memoized safety-game solver for whatever they cannot defeat —
-	// and the CaseResult carries the Verdict (defeatable with a
-	// verified witness schedule / safe / undecided). Scheduler, Seeds
-	// and Workers are ignored: decisions share one memoized solver and
-	// run single-threaded in source order, which keeps the per-pattern
-	// state counts deterministic (the whole n = 7 space decides in
-	// seconds). Alg and Goal default from the Spec when unset in the
-	// Options, and MaxRounds supplies the heuristic probe budget when
-	// Options.HeuristicRounds is unset.
+	// adversarial decision (experiments E13/E14): each pattern is
+	// handed to internal/adversary — heuristic pre-filter schedulers
+	// first, the memoized safety-game solver for whatever they cannot
+	// defeat — and the CaseResult carries the Verdict (defeatable with
+	// a verified witness schedule / safe / undecided). Scheduler and
+	// Seeds are ignored (the adversary is universally quantified over
+	// schedules). Workers applies: when it is 1 or unset, decisions run
+	// single-threaded in source order, which keeps the per-pattern
+	// state counts deterministic; when it is larger, patterns decide in
+	// parallel over per-worker pipeline forks sharing one concurrent
+	// solver memo — verdicts, witnesses and every aggregate except the
+	// solver state counts are bit-identical to the sequential run (the
+	// whole n = 8 space decides in seconds this way). Alg and Goal
+	// default from the Spec when unset in the Options, and MaxRounds
+	// supplies the heuristic probe budget when Options.HeuristicRounds
+	// is unset.
 	Adversary *adversary.Options
 }
 
@@ -301,14 +306,17 @@ func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Repo
 	if spec.Alg == nil {
 		spec.Alg = core.Gatherer{}
 	}
-	if spec.Workers <= 0 {
-		spec.Workers = runtime.GOMAXPROCS(0)
-	}
 	if spec.Source == nil {
 		spec.Source = Connected(spec.N)
 	}
 	if spec.Adversary != nil {
+		// Adversary mode defaults to the sequential executor (Workers
+		// unset), which keeps per-pattern solver state counts
+		// deterministic; parallelism is an explicit Workers > 1.
 		return streamAdversary(ctx, spec, visit)
+	}
+	if spec.Workers <= 0 {
+		spec.Workers = runtime.GOMAXPROCS(0)
 	}
 	seeds := spec.Seeds
 	if len(seeds) == 0 {
@@ -491,11 +499,14 @@ func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Repo
 }
 
 // streamAdversary executes an adversary-mode sweep: one exact decision
-// per pattern, single-threaded in source order over one shared solver
-// (the memoized game graph is the whole point — and sharing it across
-// a worker pool would make the per-pattern state counts depend on
-// scheduling). Rounds/Moves of defeatable cases come from the verified
-// witness replay, so the usual aggregates describe the defeats.
+// per pattern over one shared solver memo. With Workers unset (or 1)
+// the decisions run single-threaded in source order, which keeps the
+// per-pattern state counts deterministic; Workers > 1 decides patterns
+// in parallel on per-worker pipeline forks sharing the solver's
+// concurrent game graph, with the same in-order delivery and
+// aggregation machinery as the scheduler sweeps. Rounds/Moves of
+// defeatable cases come from the verified witness replay, so the usual
+// aggregates describe the defeats.
 func streamAdversary(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Report, error) {
 	if spec.N > adversary.MaxRobots {
 		// Fail fast: the default Source would otherwise enumerate an
@@ -521,95 +532,239 @@ func streamAdversary(ctx context.Context, spec Spec, visit func(CaseResult) erro
 	}
 	adv := adversary.New(opts)
 	patterns := spec.Source.Count()
-	report := &Report{
-		Algorithm: opts.Alg.Name(),
-		Scheduler: "adversary",
-		Robots:    spec.N,
-		Source:    spec.Source.Label(),
-		Patterns:  patterns,
-		Schedules: 1,
-		Total:     patterns,
-		ByStatus:  map[sim.Status]int{},
-		ByClass:   map[Class]int{},
-		ByMethod:  map[string]int{},
-		Robust:    make([]int, 2),
+	agg := &verdictAgg{
+		spec:  spec,
+		visit: visit,
+		report: &Report{
+			Algorithm: opts.Alg.Name(),
+			Scheduler: "adversary",
+			Robots:    spec.N,
+			Source:    spec.Source.Label(),
+			Patterns:  patterns,
+			Schedules: 1,
+			Total:     patterns,
+			ByStatus:  map[sim.Status]int{},
+			ByClass:   map[Class]int{},
+			ByMethod:  map[string]int{},
+			Robust:    make([]int, 2),
+		},
 	}
-	var defeats, sumRounds, sumMoves int
+
 	var cerr error
-	spec.Source.Each(func(i int, c config.Config) bool {
-		if err := ctx.Err(); err != nil {
-			cerr = err
-			return false
-		}
-		verdict, err := adv.Decide(c)
-		if err != nil {
-			cerr = fmt.Errorf("pattern %d (%s): %w", i, c.Key(), err)
-			return false
-		}
-		cr := CaseResult{Index: i, Pattern: i, Initial: c, Verdict: &verdict}
-		switch verdict.Kind {
-		case adversary.Safe:
-			cr.Status = sim.Gathered
-			report.SafePatterns++
-		case adversary.Undecided:
-			cr.Status = sim.RoundLimit
-			report.Undecided++
-		case adversary.Defeatable:
-			// The witness kind is the exact classification (a forced
-			// cycle is a livelock however its bounded replay ends);
-			// rounds/moves describe the verified replay.
-			cr.Status = verdict.Witness.Status()
-			cr.Rounds = verdict.ReplayRounds
-			cr.Moves = verdict.ReplayMoves
-			report.Defeatable++
-			if verdict.Depth > report.MaxWitnessDepth {
-				report.MaxWitnessDepth = verdict.Depth
-			}
-		}
-		cr.Class = Classify(c, cr.Status)
-		report.ByMethod[verdict.Method]++
-		report.ByStatus[cr.Status]++
-		if cr.Status == sim.Gathered {
-			report.Robust[1]++
-		} else {
-			report.Robust[0]++
-			report.ByClass[cr.Class]++
-		}
-		// The rounds/moves aggregates describe the witness replays, so
-		// only defeats (which have a replay) contribute — undecided
-		// heuristics-only cases would dilute the means with zeros.
-		if verdict.Kind == adversary.Defeatable {
-			defeats++
-			sumRounds += cr.Rounds
-			sumMoves += cr.Moves
-			if cr.Rounds > report.MaxRounds {
-				report.MaxRounds = cr.Rounds
-			}
-			if cr.Moves > report.MaxMoves {
-				report.MaxMoves = cr.Moves
-			}
-		}
-		if spec.KeepCases {
-			report.Cases = append(report.Cases, cr)
-		}
-		if visit != nil {
-			if err := visit(cr); err != nil {
+	if spec.Workers > 1 {
+		cerr = runAdversaryParallel(ctx, spec, adv, agg)
+	} else {
+		spec.Source.Each(func(i int, c config.Config) bool {
+			if err := ctx.Err(); err != nil {
 				cerr = err
 				return false
 			}
-		}
-		if spec.Progress != nil {
-			spec.Progress(i+1, report.Total)
-		}
-		return true
-	})
+			verdict, err := adv.Decide(c)
+			if err != nil {
+				cerr = fmt.Errorf("pattern %d (%s): %w", i, c.Key(), err)
+				return false
+			}
+			if cerr = agg.absorb(verdictCase(i, c, verdict)); cerr != nil {
+				return false
+			}
+			return true
+		})
+	}
+	report := agg.report
 	report.SolverStates = adv.StatesExplored()
 	if cerr != nil {
 		return nil, cerr
 	}
-	if defeats > 0 {
-		report.MeanRounds = float64(sumRounds) / float64(defeats)
-		report.MeanMoves = float64(sumMoves) / float64(defeats)
+	if agg.defeats > 0 {
+		report.MeanRounds = float64(agg.sumRounds) / float64(agg.defeats)
+		report.MeanMoves = float64(agg.sumMoves) / float64(agg.defeats)
 	}
 	return report, nil
+}
+
+// verdictCase maps one decided pattern onto the sweep's case currency:
+// the witness kind's status for defeatable patterns (a forced cycle is
+// a livelock however its bounded replay ends — rounds/moves describe
+// the verified replay), Gathered for safe ones, RoundLimit as the
+// undecided marker of a heuristics-only pass.
+func verdictCase(i int, c config.Config, verdict adversary.Verdict) CaseResult {
+	cr := CaseResult{Index: i, Pattern: i, Initial: c, Verdict: &verdict}
+	switch verdict.Kind {
+	case adversary.Safe:
+		cr.Status = sim.Gathered
+	case adversary.Undecided:
+		cr.Status = sim.RoundLimit
+	case adversary.Defeatable:
+		cr.Status = verdict.Witness.Status()
+		cr.Rounds = verdict.ReplayRounds
+		cr.Moves = verdict.ReplayMoves
+	}
+	cr.Class = Classify(c, cr.Status)
+	return cr
+}
+
+// verdictAgg aggregates in-order delivered adversary cases — shared by
+// the sequential and parallel executors, so worker count cannot change
+// what a report means.
+type verdictAgg struct {
+	spec                         Spec
+	report                       *Report
+	visit                        func(CaseResult) error
+	defeats, sumRounds, sumMoves int
+}
+
+func (a *verdictAgg) absorb(cr CaseResult) error {
+	report := a.report
+	switch cr.Verdict.Kind {
+	case adversary.Safe:
+		report.SafePatterns++
+	case adversary.Undecided:
+		report.Undecided++
+	case adversary.Defeatable:
+		report.Defeatable++
+		if cr.Verdict.Depth > report.MaxWitnessDepth {
+			report.MaxWitnessDepth = cr.Verdict.Depth
+		}
+	}
+	report.ByMethod[cr.Verdict.Method]++
+	report.ByStatus[cr.Status]++
+	if cr.Status == sim.Gathered {
+		report.Robust[1]++
+	} else {
+		report.Robust[0]++
+		report.ByClass[cr.Class]++
+	}
+	// The rounds/moves aggregates describe the witness replays, so
+	// only defeats (which have a replay) contribute — undecided
+	// heuristics-only cases would dilute the means with zeros.
+	if cr.Verdict.Kind == adversary.Defeatable {
+		a.defeats++
+		a.sumRounds += cr.Rounds
+		a.sumMoves += cr.Moves
+		if cr.Rounds > report.MaxRounds {
+			report.MaxRounds = cr.Rounds
+		}
+		if cr.Moves > report.MaxMoves {
+			report.MaxMoves = cr.Moves
+		}
+	}
+	if a.spec.KeepCases {
+		report.Cases = append(report.Cases, cr)
+	}
+	if a.visit != nil {
+		if err := a.visit(cr); err != nil {
+			return err
+		}
+	}
+	if a.spec.Progress != nil {
+		a.spec.Progress(cr.Index+1, report.Total)
+	}
+	return nil
+}
+
+// runAdversaryParallel is the pattern-parallel adversary executor: the
+// dispatcher streams patterns through a bounded window, each worker
+// decides on its own pipeline fork (private heuristic scratch, shared
+// concurrent solver memo), and the collector reorders completions so
+// absorption — and therefore the report, the visitor stream, and every
+// witness — is identical to the sequential executor's. Only the
+// per-pattern solver state counts (Verdict.States) depend on
+// scheduling: they say which worker reached a shared state first.
+func runAdversaryParallel(ctx context.Context, spec Spec, adv *adversary.Adversary, agg *verdictAgg) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	window := 4 * spec.Workers
+	tokens := make(chan struct{}, window)
+	jobs := make(chan job, spec.Workers)
+
+	type outcome struct {
+		cr  CaseResult
+		err error
+	}
+	results := make(chan outcome, spec.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fork := adv.Fork()
+			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // cancelled: drain the queue without deciding
+				}
+				var out outcome
+				verdict, err := fork.Decide(j.initial)
+				if err != nil {
+					out.err = fmt.Errorf("pattern %d (%s): %w", j.pattern, j.initial.Key(), err)
+					out.cr.Index = j.index
+				} else {
+					out.cr = verdictCase(j.pattern, j.initial, verdict)
+				}
+				select {
+				case results <- out:
+				case <-ctx.Done():
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	go func() {
+		defer close(jobs)
+		spec.Source.Each(func(i int, c config.Config) bool {
+			select {
+			case tokens <- struct{}{}:
+			case <-ctx.Done():
+				return false
+			}
+			select {
+			case jobs <- job{index: i, pattern: i, initial: c}:
+			case <-ctx.Done():
+				return false
+			}
+			return true
+		})
+	}()
+
+	pending := make(map[int]outcome, spec.Workers)
+	next := 0
+	var cerr error
+	for out := range results {
+		if cerr != nil || ctx.Err() != nil {
+			continue // drain so the workers can exit
+		}
+		pending[out.cr.Index] = out
+		if len(pending) > agg.report.PeakPending {
+			agg.report.PeakPending = len(pending)
+		}
+		for {
+			o, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			<-tokens
+			if o.err != nil {
+				cerr = o.err
+				cancel()
+				break
+			}
+			if err := agg.absorb(o.cr); err != nil {
+				cerr = err
+				cancel()
+				break
+			}
+		}
+	}
+	if cerr != nil {
+		return cerr
+	}
+	if err := ctx.Err(); err != nil && next < agg.report.Total {
+		return err
+	}
+	return nil
 }

@@ -332,3 +332,47 @@ func TestAdversaryModeHeuristicsOnly(t *testing.T) {
 			rep.ByStatus[sim.RoundLimit], rep.Undecided)
 	}
 }
+
+// TestAdversaryModeWorkerDeterminism runs the exact-adversary sweep
+// over the full n = 6 space sequentially and with a worker pool
+// sharing the concurrent solver memo (this is also the test that
+// hammers the sharded memo under -race in CI): the reports must agree
+// on everything except the solver state count, which records which
+// worker reached a shared game state first.
+func TestAdversaryModeWorkerDeterminism(t *testing.T) {
+	seq, err := sweep.Run(context.Background(), sweep.Spec{N: 6, Adversary: &adversary.Options{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	par, err := sweep.Stream(context.Background(), sweep.Spec{
+		N: 6, Workers: 8, Adversary: &adversary.Options{},
+	}, func(c sweep.CaseResult) error {
+		// In-order delivery: the visitor sees pattern indices ascending
+		// regardless of which worker finished first.
+		if c.Pattern != delivered {
+			t.Fatalf("out-of-order delivery: pattern %d at position %d", c.Pattern, delivered)
+		}
+		delivered++
+		if c.Verdict == nil {
+			t.Fatalf("pattern %d: no verdict", c.Pattern)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != seq.Patterns {
+		t.Fatalf("parallel sweep delivered %d verdicts, want %d", delivered, seq.Patterns)
+	}
+	// Neutralize the scheduling-dependent diagnostics, then require
+	// bit-identical reports.
+	seq.SolverStates, par.SolverStates = 0, 0
+	seq.PeakPending, par.PeakPending = 0, 0
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("worker count changed the adversary report:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if seq.Defeatable != 721 || seq.SafePatterns != 93 {
+		t.Fatalf("n=6 partition %d/%d, want 721/93", seq.Defeatable, seq.SafePatterns)
+	}
+}

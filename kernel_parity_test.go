@@ -1,0 +1,87 @@
+package repro
+
+// The transition-kernel refactor (internal/step) collapsed the three
+// per-layer copies of the look→compute→move step into one. These tests
+// pin the kernel bit-for-bit against the independent legacy reference
+// over entire configuration spaces: every run of every pattern of the
+// full n = 5 and n = 6 spaces, under FSYNC and under eight seeded
+// SSYNC schedules, must produce the identical Status/Rounds/Moves and
+// final configuration whether the kernel rides the packed fast path or
+// the map-based fallback.
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/enumerate"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// assertSameRun fails unless the two results are observably identical.
+func assertSameRun(t *testing.T, label string, c config.Config, p, l sim.Result) {
+	t.Helper()
+	if p.Status != l.Status || p.Rounds != l.Rounds || p.Moves != l.Moves || !p.Final.Equal(l.Final) {
+		t.Fatalf("%s on %s: kernel %v/%d/%d legacy %v/%d/%d",
+			label, c.Key(), p.Status, p.Rounds, p.Moves, l.Status, l.Rounds, l.Moves)
+	}
+}
+
+// TestKernelParityFullSmallSpaces sweeps the complete n = 5 (186
+// patterns) and n = 6 (814) spaces through sim.Run and sched.Run on
+// the packed kernel and with ComputePacked hidden, under FSYNC and
+// eight seeded random-subset SSYNC schedules — 14 runs per pattern per
+// path, bit-for-bit.
+func TestKernelParityFullSmallSpaces(t *testing.T) {
+	opts := sim.Options{DetectCycles: true, StopOnDisconnect: true, MaxRounds: 5000}
+	for _, n := range []int{5, 6} {
+		for _, c := range enumerate.Connected(n) {
+			// FSYNC through the simulator: packed kernel loop vs the
+			// independent legacy map/string loop.
+			assertSameRun(t, "sim/fsync", c,
+				sim.Run(core.Gatherer{}, c, opts),
+				sim.Run(legacyOnly{core.Gatherer{}}, c, opts))
+			// FSYNC through the scheduler: must also equal the simulator.
+			ps := sched.Run(core.Gatherer{}, c, sched.FSYNC{}, opts)
+			assertSameRun(t, "sched/fsync", c, ps, sim.Run(core.Gatherer{}, c, opts))
+			assertSameRun(t, "sched/fsync-legacy", c, ps,
+				sched.Run(legacyOnly{core.Gatherer{}}, c, sched.FSYNC{}, opts))
+			// Eight seeded SSYNC schedules: the per-seed scheduler is
+			// rebuilt for each path, so both replay the identical
+			// activation sequence.
+			for seed := int64(1); seed <= 8; seed++ {
+				assertSameRun(t, "sched/ssync", c,
+					sched.Run(core.Gatherer{}, c, sched.NewRandomSubset(seed), opts),
+					sched.Run(legacyOnly{core.Gatherer{}}, c, sched.NewRandomSubset(seed), opts))
+			}
+		}
+	}
+}
+
+// TestKernelParityFailureStatuses drives the baselines — the
+// algorithms that actually collide, disconnect and stall — through
+// both kernel paths on the full n = 5 space, so the parity above is
+// not just 'everything gathers either way'.
+func TestKernelParityFailureStatuses(t *testing.T) {
+	opts := sim.Options{DetectCycles: true, StopOnDisconnect: true, MaxRounds: 500}
+	statuses := map[sim.Status]int{}
+	for _, alg := range []core.Algorithm{core.GreedyEast{}, core.Idle{}} {
+		for _, c := range enumerate.Connected(5) {
+			p := sim.Run(alg, c, opts)
+			assertSameRun(t, alg.Name(), c, p, sim.Run(legacyOnly{alg}, c, opts))
+			statuses[p.Status]++
+			for seed := int64(1); seed <= 4; seed++ {
+				ps := sched.Run(alg, c, sched.NewRandomSubset(seed), opts)
+				assertSameRun(t, alg.Name()+"/ssync", c, ps,
+					sched.Run(legacyOnly{alg}, c, sched.NewRandomSubset(seed), opts))
+				statuses[ps.Status]++
+			}
+		}
+	}
+	for _, s := range []sim.Status{sim.Collision, sim.Stalled} {
+		if statuses[s] == 0 {
+			t.Fatalf("no %v run in the parity sweep; it checked nothing for that status", s)
+		}
+	}
+}
