@@ -173,6 +173,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "; game states %d, max strategy depth %d; every witness replay confirmed non-gathering\n",
 		report.SolverStates, report.MaxWitnessDepth)
+	if report.MemoHits+report.MemoMisses > 0 {
+		fmt.Fprintf(os.Stderr, "adversary: memo: %d hits / %d misses, %d states created (shared across patterns)\n",
+			report.MemoHits, report.MemoMisses, report.StatesCreated)
+	}
 	methods := make([]string, 0, len(report.ByMethod))
 	for m := range report.ByMethod {
 		methods = append(methods, m)

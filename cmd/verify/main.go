@@ -26,6 +26,14 @@
 //	              0 keeps the sequential solver (deterministic
 //	              solver_states); pass an explicit N > 1 for the
 //	              pattern-parallel executor (E14: -n 8 -workers 8)
+//	-memo         share one configuration→outcome store across the
+//	              whole sweep (internal/memo; default on): each shared
+//	              trajectory suffix is walked once and spliced
+//	              everywhere else, with reports bit-identical to
+//	              -memo=false. The n = 9 FSYNC map (E15) runs on it;
+//	              with -progress the hit/miss/states summary goes to
+//	              stderr. Ignored by -sched adv, whose solver keeps its
+//	              own game-state memo
 //	-json         print the aggregated report as JSON
 //	-cases F      stream every per-run result to F as JSON lines while
 //	              sweeping (constant memory: nothing is retained)
@@ -36,7 +44,7 @@
 //
 //	verify [-alg full|no-table|no-reconstruction|paper|three|idle|greedy]
 //	       [-n 7] [-range 1] [-sched fsync|ssync|cent|adv] [-seeds 1]
-//	       [-max-rounds N] [-workers N] [-stats] [-classes]
+//	       [-max-rounds N] [-workers N] [-memo] [-stats] [-classes]
 //	       [-json] [-cases out.jsonl] [-allow-failures] [-progress]
 //
 // Exit status: 0 when every run gathered (every pattern safe, for
@@ -57,6 +65,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/core"
+	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -86,6 +95,7 @@ func main() {
 	seeds := flag.Int("seeds", 1, "activation schedules per pattern (ssync robustness axis; seeds 1..M)")
 	maxRounds := flag.Int("max-rounds", 0, "round budget per run (0 = default)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; with -sched adv, 0 = the sequential solver, which keeps solver_states deterministic)")
+	memoOn := flag.Bool("memo", true, "share one configuration→outcome store across the sweep (bit-identical reports; ignored by -sched adv)")
 	stats := flag.Bool("stats", false, "print rounds histogram and per-diameter table")
 	classes := flag.Bool("classes", false, "print the failure taxonomy (status × initial diameter)")
 	jsonOut := flag.Bool("json", false, "print the aggregated report as JSON")
@@ -107,6 +117,14 @@ Schedulers (-sched):
   adv     exact adversarial decision per pattern: the safety-game
           solver of internal/adversary, heuristic pre-filters first
           (E13); defeated patterns report their witness kind
+
+Memoization (-memo, default on): one shared configuration→outcome
+store turns the sweep into a deduplicated traversal of the
+configuration graph — FSYNC outcomes are pure functions of the
+pattern, so every shared trajectory suffix is walked once. Reports
+are bit-identical to -memo=false at every worker count; -progress
+prints the store's hit/miss/states summary to stderr. -sched adv
+ignores it (the solver keeps its own game-state memo).
 
 Exit status:
   0  every run gathered (every pattern safe under -sched adv), or
@@ -193,6 +211,9 @@ Flags:
 	if *visRange > 1 {
 		spec.Source = sweep.ConnectedWithin(*n, *visRange)
 	}
+	if *memoOn && spec.Adversary == nil {
+		spec.OutcomeMemo = memo.NewOutcomes()
+	}
 	if *progress {
 		spec.Progress = func(done, total int) {
 			if done%5000 == 0 || done == total {
@@ -252,6 +273,10 @@ Flags:
 	}
 	if *progress {
 		fmt.Fprintln(os.Stderr)
+		if spec.OutcomeMemo != nil {
+			fmt.Fprintf(os.Stderr, "verify: memo: %d hits / %d misses, %d states created\n",
+				report.MemoHits, report.MemoMisses, report.StatesCreated)
+		}
 	}
 
 	if *jsonOut {

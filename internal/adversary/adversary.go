@@ -88,12 +88,11 @@ package adversary
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/memo"
 	"repro/internal/step"
 )
 
@@ -130,97 +129,15 @@ type verdict struct {
 	choice step.Mask
 }
 
-// stateKey identifies a game state: the exact config.Key128 for every
-// pattern inside the envelope (all of them, for connected patterns of
-// at most MaxRobots robots), the canonical string for the rest. It is
-// comparable, so it keys maps directly.
-type stateKey struct {
-	k     config.Key128
-	s     string
-	exact bool
-}
-
-// keyOf builds the state key of a sorted node list.
-func keyOf(nodes []grid.Coord) stateKey {
-	if k, ok := config.Key128Nodes(nodes); ok {
-		return stateKey{k: k, exact: true}
-	}
-	return stateKey{s: config.New(nodes...).Key()}
-}
-
-// memoShards is the lock-striping width of the shared verdict store.
-// 64 shards keep contention negligible for any worker count a sweep
-// runs (the per-shard critical sections are single map operations).
-const memoShards = 64
-
-// memo is the sharded concurrent verdict store: the colored game
-// graph, shared by every search and every worker. Verdicts are
-// published exactly once final — in-flight (gray) states never enter —
+// The verdict store is the shared sharded publish-once machinery of
+// internal/memo — originally grown here, now extracted so the FSYNC
+// outcome memo (internal/sim, internal/sweep) and the scheduler
+// rollouts (internal/sched) ride the identical store. Verdicts are
+// published only once final — in-flight (gray) states never enter —
 // so readers either miss (and solve locally) or see a complete,
-// immutable verdict. Publishing is first-write-wins; concurrent
-// publishers hold identical verdicts (see the package comment), so the
-// race is benign and the winner is irrelevant.
-type memo struct {
-	shards  [memoShards]memoShard
-	slowMu  sync.RWMutex
-	slow    map[string]verdict
-	created atomic.Int64
-}
-
-type memoShard struct {
-	mu sync.RWMutex
-	m  map[config.Key128]verdict
-}
-
-func newMemo() *memo {
-	mm := &memo{slow: make(map[string]verdict)}
-	for i := range mm.shards {
-		mm.shards[i].m = make(map[config.Key128]verdict)
-	}
-	return mm
-}
-
-// shardOf mixes the 128-bit key down to a shard index.
-func shardOf(k config.Key128) int {
-	h := k.Lo*0x9e3779b97f4a7c15 ^ k.Hi
-	return int(h >> (64 - 6)) // top bits of the multiplied hash spread best
-}
-
-// load returns the published verdict for a state, if any.
-func (m *memo) load(key stateKey) (verdict, bool) {
-	if key.exact {
-		s := &m.shards[shardOf(key.k)]
-		s.mu.RLock()
-		v, ok := s.m[key.k]
-		s.mu.RUnlock()
-		return v, ok
-	}
-	m.slowMu.RLock()
-	v, ok := m.slow[key.s]
-	m.slowMu.RUnlock()
-	return v, ok
-}
-
-// publish stores a final verdict, keeping any already-published one
-// (identical anyway) and counting each state once.
-func (m *memo) publish(key stateKey, v verdict) {
-	if key.exact {
-		s := &m.shards[shardOf(key.k)]
-		s.mu.Lock()
-		if _, dup := s.m[key.k]; !dup {
-			s.m[key.k] = v
-			m.created.Add(1)
-		}
-		s.mu.Unlock()
-		return
-	}
-	m.slowMu.Lock()
-	if _, dup := m.slow[key.s]; !dup {
-		m.slow[key.s] = v
-		m.created.Add(1)
-	}
-	m.slowMu.Unlock()
-}
+// immutable verdict; first-write-wins publication is benign because
+// concurrent publishers hold identical verdicts (see the package
+// comment).
 
 // Solver decides the safety game for one algorithm and goal. Verdicts
 // are memoized across calls — deciding many patterns of the same space
@@ -236,7 +153,7 @@ type Solver struct {
 	// a guard against runaway larger-n solves.
 	maxStates int
 
-	memo *memo
+	memo *memo.Store[verdict]
 }
 
 // DefaultMaxStates bounds solver state creation when Options leave it
@@ -262,14 +179,22 @@ func NewSolver(alg core.Algorithm, goal func(config.Config) bool, maxStates int)
 		k:         step.New(alg),
 		goal:      goal,
 		maxStates: maxStates,
-		memo:      newMemo(),
+		memo:      memo.NewStore[verdict](),
 	}
 }
 
 // StatesExplored returns the cumulative number of distinct game states
 // decided across every solve so far (by every goroutine sharing the
 // solver).
-func (s *Solver) StatesExplored() int { return int(s.memo.created.Load()) }
+func (s *Solver) StatesExplored() int { return int(s.memo.Created()) }
+
+// MemoStats returns the shared game-state store's cumulative counters:
+// distinct states created, lookup hits, lookup misses. Hits measure
+// the cross-pattern sharing the memoization exists for (later patterns
+// re-entering earlier patterns' subgames).
+func (s *Solver) MemoStats() (created, hits, misses int64) {
+	return s.memo.Created(), s.memo.Hits(), s.memo.Misses()
+}
 
 // Defeatable decides whether the adversary wins from the initial
 // configuration. It errors on inputs outside the game's domain: more
@@ -300,8 +225,8 @@ func (s *Solver) Defeatable(initial config.Config) (bool, error) {
 // decide returns the final color of a state: the published verdict if
 // one exists, otherwise a fresh solve through the given search.
 func (s *Solver) decide(nodes []grid.Coord, g *search) color {
-	key := keyOf(nodes)
-	if v, ok := s.memo.load(key); ok {
+	key := memo.KeyOf(nodes)
+	if v, ok := s.memo.Load(key); ok {
 		return v.color
 	}
 	return g.solve(nodes, key)
@@ -313,11 +238,11 @@ func (s *Solver) decide(nodes []grid.Coord, g *search) color {
 // a forceable cycle only against the searcher's own path.
 type search struct {
 	s      *Solver
-	onPath map[stateKey]struct{}
+	onPath map[memo.Key]struct{}
 }
 
 func newSearch(s *Solver) *search {
-	return &search{s: s, onPath: make(map[stateKey]struct{})}
+	return &search{s: s, onPath: make(map[memo.Key]struct{})}
 }
 
 // expand computes the per-robot decisions of a state through the
@@ -336,9 +261,9 @@ func (s *Solver) expand(cfg config.Config, nodes []grid.Coord, moves []core.Move
 // exhausted), publishing nothing, so a later larger-budget solve can
 // retry. Recursion depth is bounded by the number of states (16689 for
 // the full n = 8 game), well within Go's growable stacks.
-func (g *search) solve(nodes []grid.Coord, key stateKey) color {
+func (g *search) solve(nodes []grid.Coord, key memo.Key) color {
 	s := g.s
-	if int(s.memo.created.Load())+len(g.onPath) > s.maxStates {
+	if int(s.memo.Created())+len(g.onPath) > s.maxStates {
 		return aborted
 	}
 	g.onPath[key] = struct{}{}
@@ -365,7 +290,7 @@ func (g *search) solve(nodes []grid.Coord, key stateKey) color {
 		if s.goal(cfg) {
 			v = verdict{color: safe}
 		}
-		s.memo.publish(key, v)
+		s.memo.Publish(key, v)
 		return v.color
 	}
 	// Enumerate the non-empty subsets of the movers (standard submask
@@ -376,12 +301,12 @@ func (g *search) solve(nodes []grid.Coord, key stateKey) color {
 		next, outcome := step.Apply(nodes, moves[:n], sub, make([]grid.Coord, 0, n))
 		if outcome != step.OK {
 			// Collision or disconnection: terminal failure, adversary wins.
-			s.memo.publish(key, verdict{color: defeated, choice: sub})
+			s.memo.Publish(key, verdict{color: defeated, choice: sub})
 			return defeated
 		}
-		ckey := keyOf(next)
+		ckey := memo.KeyOf(next)
 		var cc color
-		if v, ok := s.memo.load(ckey); ok {
+		if v, ok := s.memo.Load(ckey); ok {
 			cc = v.color
 		} else if _, on := g.onPath[ckey]; on {
 			// Back edge: the successor sits on this search's own path,
@@ -394,12 +319,12 @@ func (g *search) solve(nodes []grid.Coord, key stateKey) color {
 		case gray, defeated:
 			// A defeated successor — or a forceable cycle, which
 			// defeats every state on it as the recursion unwinds.
-			s.memo.publish(key, verdict{color: defeated, choice: sub})
+			s.memo.Publish(key, verdict{color: defeated, choice: sub})
 			return defeated
 		case aborted:
 			return aborted
 		}
 	}
-	s.memo.publish(key, verdict{color: safe})
+	s.memo.Publish(key, verdict{color: safe})
 	return safe
 }

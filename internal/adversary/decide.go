@@ -142,6 +142,15 @@ func (a *Adversary) StatesExplored() int {
 	return a.solver.StatesExplored()
 }
 
+// MemoStats returns the solver store's cumulative created/hits/misses
+// counters (all zero in heuristics-only mode); see Solver.MemoStats.
+func (a *Adversary) MemoStats() (created, hits, misses int64) {
+	if a.solver == nil {
+		return 0, 0, 0
+	}
+	return a.solver.MemoStats()
+}
+
 // Decide decides one pattern. Every Defeatable verdict carries a
 // witness already re-simulated through sched.Run and confirmed
 // non-gathering; a witness that fails that confirmation is an error

@@ -6,6 +6,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/memo"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/step"
@@ -184,14 +185,14 @@ func (s *Solver) witness(initial config.Config) (*Witness, error) {
 			return w, nil
 		}
 		seen[key] = len(schedule)
-		skey := keyOf(nodes)
-		v, ok := s.memo.load(skey)
+		skey := memo.KeyOf(nodes)
+		v, ok := s.memo.Load(skey)
 		if !ok {
 			// In-flight elsewhere: decide it here (see above).
 			if c := s.decide(nodes, newSearch(s)); c != defeated {
 				return nil, fmt.Errorf("adversary: internal: witness walk reached %v state %s", c, key)
 			}
-			if v, ok = s.memo.load(skey); !ok {
+			if v, ok = s.memo.Load(skey); !ok {
 				return nil, fmt.Errorf("adversary: internal: witness walk solved unpublished state %s", key)
 			}
 		}

@@ -41,6 +41,22 @@ func TestKnownCountsTwoTier(t *testing.T) {
 	}
 }
 
+// TestN9CountPinned pins the n = 9 pattern-space size as a literal:
+// 77359 (OEIS A001207). The E15 sweep (the first exact n = 9 FSYNC
+// map) reports its breakdown over exactly this many patterns, so the
+// constant is load-bearing for the experiment, not just a table entry
+// — this test keeps it honest independently of any sweep by recounting
+// the space from the enumeration itself. Routine (~1 s), no env gate.
+func TestN9CountPinned(t *testing.T) {
+	const want = 77359
+	if KnownCounts[9] != want {
+		t.Fatalf("KnownCounts[9] = %d, want %d (A001207)", KnownCounts[9], want)
+	}
+	if got := Count(9); got != want {
+		t.Fatalf("Count(9) = %d, want %d", got, want)
+	}
+}
+
 func TestCountMatchesConnected(t *testing.T) {
 	for n := 1; n <= 6; n++ {
 		if Count(n) != len(Connected(n)) {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/memo"
 	"repro/internal/sim"
 	"repro/internal/step"
 )
@@ -154,6 +155,28 @@ func (s *RandomSubset) Select(n, _ int) []int {
 // round budget into RoundLimit. Non-periodic schedulers keep the
 // conservative historical rule: only patterns reached by a
 // full-activation round enter the cycle set.
+//
+// Outcome memoization (opts.Outcomes, ignored with RecordTrace set):
+// for deterministic periodic non-adaptive schedulers the execution
+// state is (pattern, round mod period), so Run keys the shared outcome
+// store on that pair (memo.Key.WithPhase) and the run becomes the same
+// memoized graph walk the FSYNC simulator does — cut short at the
+// first known state, walked suffixes published backwards, results
+// bit-identical to the unmemoized run (the splice guards mirror
+// internal/sim's; Final is reported up to translation). Idle rounds
+// are extra execution state the pattern key cannot carry, so only
+// states entered fresh (idle == 0: the initial state, and every state
+// just after a moving round) are keyed; Outcome.Raw carries the idle
+// iterations a budget splice must account for. For every other
+// scheduler — the seeded random SSYNC adversaries, the adaptive
+// heuristics — future activations are not a function of the state, so
+// only the one schedule-independent fact is shared: a pattern with no
+// movers resolves (gathered or stalled) identically under every
+// scheduler. Run publishes that fact when a full activation proves it
+// and splices it when the remaining budget provably covers the
+// direct loop's own idle-streak resolution (within 4·n iterations),
+// which is what lets a 32-seed SSYNC robustness sweep skip the stall
+// tails of all its schedules after the first.
 func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Options) sim.Result {
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
@@ -177,9 +200,19 @@ func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Option
 			period = 1
 		}
 	}
+	st := opts.Outcomes
+	if opts.RecordTrace {
+		st = nil // a splice cannot reconstruct the skipped trace
+	}
+	var walk *schedWalk
+	if st != nil && period > 0 && opts.DetectCycles && opts.StopOnDisconnect {
+		// Tier B: the full memoized walk replaces the cycle sets (its
+		// path index detects the same (pattern, phase) repeats).
+		walk = newSchedWalk(st, period, n)
+	}
 	var seen *config.PatternSet    // phase-0 set (pooled via opts.CycleSet)
 	var phases []config.PatternSet // phase-1..period-1 sets, lazily zero-valued
-	if opts.DetectCycles {
+	if opts.DetectCycles && walk == nil {
 		if opts.CycleSet != nil {
 			seen = opts.CycleSet
 			seen.Reset()
@@ -197,6 +230,18 @@ func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Option
 	idle := 0 // consecutive rounds with no movement
 	for round := 0; round < maxRounds; round++ {
 		robots = cur.AppendNodes(robots[:0])
+		if idle == 0 && st != nil {
+			if walk != nil {
+				if r, spliced := walk.visit(robots, cur, round, maxRounds, &res); spliced {
+					return r
+				}
+			} else if out, ok := st.Load(memo.KeyOf(robots)); ok && out.Rounds == 0 && out.Raw == 0 {
+				// Tier A: a universal no-mover fact ends any schedule.
+				if r, spliced := (&schedWalk{n: n}).spliceStall(out, round, maxRounds, cur, &res); spliced {
+					return r
+				}
+			}
+		}
 		var active []int
 		if adaptive {
 			active = cs.SelectConfig(robots, round)
@@ -220,6 +265,9 @@ func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Option
 			res.Status = sim.Collision
 			res.Collision = coll
 			res.Final = cur
+			if walk != nil {
+				walk.terminal(sim.Collision, round, cur, coll)
+			}
 			return res
 		}
 		if moved == 0 {
@@ -237,6 +285,17 @@ func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Option
 					res.Status = sim.Stalled
 				}
 				res.Final = cur
+				if walk != nil {
+					walk.terminal(res.Status, round, cur, nil)
+				} else if st != nil && len(active) == len(robots) {
+					// Tier A publishes only the full-activation proof:
+					// no robot moved with everyone active, so the
+					// pattern has no movers under any scheduler. A long
+					// idle streak proves that only for schedulers known
+					// to have activated every robot, which non-periodic
+					// schedules cannot guarantee.
+					st.Publish(memo.KeyOf(robots), memo.Outcome{Status: uint8(res.Status), Final: cur})
+				}
 				return res
 			}
 			idle++
@@ -252,9 +311,20 @@ func Run(alg core.Algorithm, initial config.Config, s Scheduler, opts sim.Option
 		}
 		if opts.StopOnDisconnect && !cur.Connected() {
 			res.Status = sim.Disconnected
+			if walk != nil {
+				walk.disconnected(round, &res)
+			}
 			return res
 		}
-		if opts.DetectCycles {
+		if walk != nil {
+			key := walk.key(cur.AppendNodes(robots[:0]), round+1)
+			if t0, on := walk.idx[key]; on {
+				walk.closeCycle(t0, round, &res)
+				res.Status = sim.Livelock
+				return res
+			}
+			walk.pending, walk.hasPending = key, true
+		} else if opts.DetectCycles {
 			if period > 0 {
 				// The state entering round round+1 is (cur, phase); a
 				// repeat replays the same deterministic future forever.

@@ -51,18 +51,8 @@ func runPacked(k step.Kernel, initial config.Config, opts Options) Result {
 	}
 
 	for round := 0; round < maxRounds; round++ {
-		moved := 0
-		for i, pos := range cur {
-			if m := k.MoveAt(config.Config{}, cur, pos); m.IsMove() {
-				targets[i] = pos.Step(m.Direction())
-				moving[i] = true
-				moved++
-			} else {
-				targets[i] = pos
-				moving[i] = false
-			}
-		}
-		if coll := step.DetectCollision(cur, targets[:len(cur)], moving[:len(cur)]); coll != nil {
+		nxt, moved, coll := k.Round(cur, targets[:len(cur)], moving[:len(cur)], next[:0])
+		if coll != nil {
 			res.Status = Collision
 			res.Collision = coll
 			res.Final = config.New(cur...)
@@ -80,8 +70,7 @@ func runPacked(k step.Kernel, initial config.Config, opts Options) Result {
 		}
 		res.Rounds++
 		res.Moves += moved
-		next = step.Successor(targets[:len(cur)], next[:0])
-		cur, next = next, cur
+		cur, next = nxt, cur
 		if opts.RecordTrace {
 			res.Trace = append(res.Trace, config.New(cur...))
 		}

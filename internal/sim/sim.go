@@ -10,6 +10,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/memo"
 	"repro/internal/step"
 	"repro/internal/vision"
 )
@@ -128,6 +129,29 @@ type Options struct {
 	// It is ignored when DetectCycles is false, and by the legacy
 	// reference path, which keeps its own string-keyed map.
 	CycleSet *config.PatternSet
+	// Outcomes, when non-nil, is the shared configuration→outcome
+	// store (internal/memo): FSYNC dynamics are deterministic, so a
+	// run's outcome is a pure function of its configuration, and the
+	// run becomes a walk of the configuration graph cut short at the
+	// first state whose outcome is already known — with the walked
+	// suffix published backwards along the step.Successor edges for
+	// every later run (of the same sweep, or any sweep sharing the
+	// store) to reuse. Engaged only on the packed fast path with
+	// DetectCycles and StopOnDisconnect set and RecordTrace off — the
+	// standard sweep options — and ignored otherwise.
+	//
+	// Status, Rounds and Moves are bit-identical to the unmemoized
+	// run. Final and Collision may come from a translated
+	// representative of the terminal state (pattern keys are
+	// translation-invariant, so a memoized suffix may have been walked
+	// from a translated copy).
+	//
+	// The store is scoped to one (algorithm, goal) pair: outcomes are
+	// facts about that deterministic dynamics, and sharing a store
+	// across different algorithms or goal predicates is a caller error
+	// the store cannot detect. Robot count needs no scoping — the key
+	// encodes it.
+	Outcomes *memo.Outcomes
 }
 
 // DefaultMaxRounds bounds runs when Options.MaxRounds is unset. Gathering
@@ -143,6 +167,9 @@ const DefaultMaxRounds = 10000
 // identical either way.
 func Run(alg core.Algorithm, initial config.Config, opts Options) Result {
 	if _, ok := alg.(core.PackedAlgorithm); ok && alg.VisibilityRange() <= vision.MaxPackedRange {
+		if opts.Outcomes != nil && opts.DetectCycles && opts.StopOnDisconnect && !opts.RecordTrace {
+			return runMemoized(step.New(alg), initial, opts)
+		}
 		return runPacked(step.New(alg), initial, opts)
 	}
 	return runLegacy(alg, initial, opts)

@@ -1,0 +1,119 @@
+package sweep_test
+
+// The outcome-memoization satellite contract: a sweep with
+// Spec.OutcomeMemo set produces a Report bit-identical to the
+// unmemoized sweep — counts, rounds/moves aggregates, robustness
+// histogram, and every retained per-case status — at every worker
+// count, for the full n = 7 and n = 8 FSYNC spaces.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/memo"
+	"repro/internal/sweep"
+)
+
+// normalize strips the scheduling-dependent diagnostics (which are
+// documented to vary) so the rest of the Report can be compared with
+// DeepEqual, cases included.
+func normalize(r *sweep.Report) sweep.Report {
+	c := *r
+	c.PeakPending = 0
+	c.MemoHits, c.MemoMisses, c.StatesCreated = 0, 0, 0
+	return c
+}
+
+func runPair(t *testing.T, n, workers int, st *memo.Outcomes) (direct, memod sweep.Report, stats *sweep.Report) {
+	t.Helper()
+	d, err := sweep.Run(context.Background(), sweep.Spec{N: n, Workers: workers, KeepCases: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sweep.Run(context.Background(), sweep.Spec{N: n, Workers: workers, KeepCases: true, OutcomeMemo: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return normalize(d), normalize(m), m
+}
+
+// TestMemoizedSweepBitIdentical is the satellite's headline check: the
+// full n = 7 (and, outside -short, n = 8) FSYNC sweep, memoized versus
+// direct, at one, four and eight workers — same Report down to every
+// kept case. Each worker count reuses the same store, so later passes
+// are all-hit sweeps and must still agree.
+func TestMemoizedSweepBitIdentical(t *testing.T) {
+	tops := []int{7}
+	if !testing.Short() {
+		tops = append(tops, 8)
+	}
+	for _, n := range tops {
+		st := memo.NewOutcomes()
+		for _, workers := range []int{1, 4, 8} {
+			direct, memod, stats := runPair(t, n, workers, st)
+			if !reflect.DeepEqual(direct, memod) {
+				t.Fatalf("n=%d workers=%d: memoized report diverges:\ndirect %+v\nmemo   %+v", n, workers, direct, memod)
+			}
+			if stats.MemoHits == 0 || stats.MemoHits+stats.MemoMisses == 0 {
+				t.Fatalf("n=%d workers=%d: store unused: hits=%d misses=%d created=%d",
+					n, workers, stats.MemoHits, stats.MemoMisses, stats.StatesCreated)
+			}
+			if workers > 1 && stats.StatesCreated != 0 {
+				// The first pass published every reachable outcome; warm
+				// passes may only read.
+				t.Fatalf("n=%d workers=%d: warm sweep created %d states", n, workers, stats.StatesCreated)
+			}
+		}
+	}
+}
+
+// TestMemoizedSweepCENT runs the centralized round-robin sweep both
+// ways over its own store (periodic schedulers get phase-keyed
+// entries and must not share with FSYNC stores).
+func TestMemoizedSweepCENT(t *testing.T) {
+	st := memo.NewOutcomes()
+	for _, workers := range []int{1, 4} {
+		d, err := sweep.Run(context.Background(), sweep.Spec{N: 6, Workers: workers, KeepCases: true, Scheduler: sweep.CENT})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sweep.Run(context.Background(), sweep.Spec{N: 6, Workers: workers, KeepCases: true, Scheduler: sweep.CENT, OutcomeMemo: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(normalize(d), normalize(m)) {
+			t.Fatalf("workers=%d: memoized CENT report diverges:\ndirect %s\nmemo   %s", workers, d, m)
+		}
+		if m.MemoHits == 0 {
+			t.Fatalf("workers=%d: CENT sweep never hit the store", workers)
+		}
+	}
+}
+
+// TestMemoizedSweepSSYNC runs a seeded SSYNC robustness sweep both
+// ways sharing the FSYNC store — only the universal no-mover facts are
+// sharable (tier A), and the Report must still be bit-identical.
+func TestMemoizedSweepSSYNC(t *testing.T) {
+	st := memo.NewOutcomes()
+	// Warm with the FSYNC sweep so the SSYNC runs find stall facts.
+	if _, err := sweep.Run(context.Background(), sweep.Spec{N: 6, OutcomeMemo: st}); err != nil {
+		t.Fatal(err)
+	}
+	spec := sweep.Spec{N: 6, Scheduler: sweep.SSYNC, Seeds: sweep.SeedRange(1, 4), KeepCases: true}
+	d, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.OutcomeMemo = st
+	m, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(d), normalize(m)) {
+		t.Fatalf("memoized SSYNC report diverges:\ndirect %s\nmemo   %s", d, m)
+	}
+	if m.MemoHits == 0 {
+		t.Fatal("SSYNC sweep never consulted the warm FSYNC store")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/memo"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -81,6 +82,23 @@ type Spec struct {
 	// in this shared view→move cache (core.Memoize), warm across
 	// several sweeps handed the same cache.
 	Cache *core.Memo
+	// OutcomeMemo, when non-nil, is the shared configuration→outcome
+	// store (internal/memo) threaded into every run: the sweep becomes
+	// one deduplicated traversal of the configuration graph — each
+	// shared trajectory suffix is walked once and spliced everywhere
+	// else — with Status/Rounds/Moves and therefore the whole Report
+	// bit-identical to the unmemoized sweep at every worker count (the
+	// equivalence tests check this exhaustively). Nil leaves
+	// memoization off and the direct loops in charge.
+	//
+	// Scoping is the caller's contract (the store cannot detect
+	// misuse): one store per (algorithm, goal) pair, and additionally
+	// per periodic scheduler for CENT-style sweeps — FSYNC sweeps and
+	// non-periodic (SSYNC/random) sweeps of the same algorithm may
+	// share one store, which is how a robustness sweep reuses the
+	// exhaustive sweep's stall facts. Handing the same warm store to
+	// several compatible sweeps carries the whole graph across them.
+	OutcomeMemo *memo.Outcomes
 	// KeepCases retains every CaseResult in Report.Cases. Off by
 	// default: a sweep then holds O(Workers) configurations total,
 	// which is what makes the ≈2.6 M-pattern relaxed space sweepable.
@@ -188,6 +206,17 @@ type Report struct {
 	// is excluded from JSON to keep serialized reports bit-identical
 	// across runs and worker counts.
 	PeakPending int `json:"-"`
+	// MemoHits / MemoMisses / StatesCreated are the outcome store's
+	// counter deltas over this sweep (zero without Spec.OutcomeMemo):
+	// how many store consultations hit, how many missed, and how many
+	// distinct configuration outcomes the sweep added. Like
+	// PeakPending they are scheduling-dependent diagnostics (which
+	// worker walks a shared suffix first is a race the results are
+	// proof against), so they are excluded from JSON to keep
+	// serialized reports bit-identical across runs and worker counts.
+	MemoHits      int64 `json:"-"`
+	MemoMisses    int64 `json:"-"`
+	StatesCreated int64 `json:"-"`
 	// Cases lists per-run results in Index order when Spec.KeepCases
 	// was set; nil otherwise. Excluded from JSON — stream them with
 	// Stream instead of retaining.
@@ -346,6 +375,13 @@ func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Repo
 		Robust:    make([]int, m+1),
 	}
 
+	// Counter snapshots, not absolute values: the store may arrive warm
+	// from an earlier sweep, and the Report describes this sweep only.
+	var baseHits, baseMisses, baseCreated int64
+	if spec.OutcomeMemo != nil {
+		baseHits, baseMisses, baseCreated = spec.OutcomeMemo.Hits(), spec.OutcomeMemo.Misses(), spec.OutcomeMemo.Created()
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -379,6 +415,7 @@ func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Repo
 					StopOnDisconnect: true,
 					Goal:             spec.Goal,
 					CycleSet:         &cycles,
+					Outcomes:         spec.OutcomeMemo,
 				}
 				var res sim.Result
 				if spec.Scheduler == nil {
@@ -495,6 +532,11 @@ func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Repo
 		report.MeanRounds = float64(sumRounds) / float64(gathered)
 		report.MeanMoves = float64(sumMoves) / float64(gathered)
 	}
+	if spec.OutcomeMemo != nil {
+		report.MemoHits = spec.OutcomeMemo.Hits() - baseHits
+		report.MemoMisses = spec.OutcomeMemo.Misses() - baseMisses
+		report.StatesCreated = spec.OutcomeMemo.Created() - baseCreated
+	}
 	return report, nil
 }
 
@@ -572,6 +614,7 @@ func streamAdversary(ctx context.Context, spec Spec, visit func(CaseResult) erro
 	}
 	report := agg.report
 	report.SolverStates = adv.StatesExplored()
+	report.StatesCreated, report.MemoHits, report.MemoMisses = adv.MemoStats()
 	if cerr != nil {
 		return nil, cerr
 	}
