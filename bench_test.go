@@ -16,6 +16,7 @@
 //	E13 BenchmarkE13_AdversarySearch     — adversarial-schedule search
 //	E14 BenchmarkE14_N8Adversary         — the n = 8 defeasibility map
 //	E15 BenchmarkE15_N9Sweep             — the exact n = 9 FSYNC map
+//	E17 BenchmarkE17_DistOverhead        — distributed-sweep coordination cost
 //
 // Run all of them with: go test -bench=. -benchmem .
 package repro
@@ -28,6 +29,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/enumerate"
 	"repro/internal/exhaustive"
 	"repro/internal/grid"
@@ -407,5 +409,40 @@ func BenchmarkE9_RelaxedConnectivity(b *testing.B) {
 		}
 		b.ReportMetric(float64(gathered), "gathered")
 		b.ReportMetric(float64(n), "sample")
+	}
+}
+
+// BenchmarkE17_DistOverhead prices the distributed sweep testbed
+// (internal/dist): the full n = 8 FSYNC map through the coordinator —
+// 12 shards over 3 in-process workers, every case serialized through
+// the real wire format and merged through the shared aggregator —
+// versus BenchmarkE11_N8Sweep's direct in-process sweep.Run of the
+// same space. The delta is pure coordination: shard planning, JSONL
+// encode/decode, stream verification, atomic absorption. The in-process
+// backend keeps process spawning out of the measurement (that cost
+// belongs to the backend, not the coordinator), and the merged report
+// is checked against the pinned E11 breakdown every iteration — the
+// bit-identity contract, priced and enforced in the same loop.
+func BenchmarkE17_DistOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := dist.Run(context.Background(), dist.Options{
+			Spec:    sweep.SpecDesc{N: 8},
+			Shards:  12,
+			Workers: 3,
+			Backend: dist.InprocBackend{},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Total != enumerate.KnownCounts[8] {
+			b.Fatalf("merged %d patterns, want %d", rep.Total, enumerate.KnownCounts[8])
+		}
+		if rep.Gathered() != 15364 || rep.ByStatus[sim.Stalled] != 145 ||
+			rep.ByStatus[sim.Livelock] != 671 || rep.ByStatus[sim.Collision] != 440 ||
+			rep.ByStatus[sim.Disconnected] != 69 || rep.ByStatus[sim.RoundLimit] != 0 {
+			b.Fatalf("distributed n=8 map diverged from the pinned breakdown: %s", rep)
+		}
+		b.ReportMetric(float64(rep.Gathered()), "gathered")
+		b.ReportMetric(12, "shards")
 	}
 }

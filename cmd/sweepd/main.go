@@ -1,0 +1,240 @@
+// Command sweepd is the distributed sweep testbed's CLI
+// (internal/dist): a coordinator that shards a sweep by source range
+// across worker processes and merges their framed JSONL streams into a
+// report bit-identical to a single-process cmd/verify run, plus the
+// worker loop those processes run.
+//
+//	sweepd run     plan and execute a distributed sweep from scratch
+//	sweepd resume  continue a preempted sweep from its checkpoint
+//	sweepd serve   worker mode: execute work units from stdin
+//
+// The sweep flags of `run` mirror cmd/verify (-n, -alg, -sched,
+// -seeds, -range, -max-rounds); the orchestration flags size and
+// harden the run (-shards, -workers, -retries, -backoff, -checkpoint).
+// With -checkpoint the coordinator persists (completed shards, partial
+// aggregate) atomically after every absorbed shard, so a preempted
+// multi-hour run restarts where it stopped via `sweepd resume`; a
+// worker killed mid-shard is detected by stream truncation and its
+// shard is re-queued with bounded retry and exponential backoff —
+// shards merge atomically only after their trailing summary verifies,
+// so a crash can never corrupt the aggregate.
+//
+// Usage:
+//
+//	sweepd run [-alg full|...] [-n 7] [-range 1] [-sched fsync|ssync|cent]
+//	           [-seeds 1] [-max-rounds N] [-shards S] [-workers W]
+//	           [-retries R] [-backoff D] [-checkpoint F] [-backend proc|inproc]
+//	           [-json] [-progress] [-allow-failures]
+//	sweepd resume -checkpoint F [-workers W] [-retries R] [-backoff D]
+//	           [-backend proc|inproc] [-json] [-progress] [-allow-failures]
+//	sweepd serve
+//
+// Exit status mirrors cmd/verify: 0 when every run gathered or
+// -allow-failures was given, 1 when the sweep completed with
+// non-gathering runs, 2 on usage or internal errors. Diagnostics and
+// -progress go to stderr; stdout carries only the report
+// (machine-parseable under -json, byte-identical to `cmd/verify
+// -json` over the same sweep).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/sweep"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	switch cmd := flag.Arg(0); cmd {
+	case "run":
+		cmdRun(flag.Args()[1:])
+	case "resume":
+		cmdResume(flag.Args()[1:])
+	case "serve":
+		cmdServe(flag.Args()[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "sweepd: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: sweepd <command> [flags]
+
+Distributed sweep testbed (internal/dist): shard a sweep by source
+range across worker processes, merge the streamed results into a
+report bit-identical to a single-process cmd/verify run, and survive
+worker crashes (bounded re-queue) and coordinator preemption
+(checkpoint/resume).
+
+Commands:
+  run     plan and execute a distributed sweep from scratch
+  resume  continue a preempted sweep from its -checkpoint file
+  serve   worker mode: execute work-unit lines from stdin, stream
+          framed JSONL shard results on stdout (normally spawned by
+          the coordinator; speaks the same format as cmd/verify
+          -worker)
+
+Run 'sweepd <command> -h' for the command's flags.
+`)
+}
+
+// orchFlags registers the orchestration flags shared by run and
+// resume on fs, returning pointers bundled for buildOptions.
+type orch struct {
+	shards     *int
+	workers    *int
+	retries    *int
+	backoff    *time.Duration
+	checkpoint *string
+	backend    *string
+	jsonOut    *bool
+	progress   *bool
+	allowFail  *bool
+}
+
+func orchFlags(fs *flag.FlagSet) *orch {
+	return &orch{
+		shards:     fs.Int("shards", 0, "shard count (0 = 4 per worker): work units the source splits into"),
+		workers:    fs.Int("workers", 3, "concurrent worker processes"),
+		retries:    fs.Int("retries", 3, "re-queues allowed per shard after worker failures"),
+		backoff:    fs.Duration("backoff", 100*time.Millisecond, "delay before a failed shard's first retry, doubling per attempt"),
+		checkpoint: fs.String("checkpoint", "", "persist progress to this file after every absorbed shard"),
+		backend:    fs.String("backend", "proc", "worker backend: proc (sweepd serve subprocesses) or inproc (this process)"),
+		jsonOut:    fs.Bool("json", false, "print the merged report as JSON (byte-identical to cmd/verify -json)"),
+		progress:   fs.Bool("progress", false, "report shard progress and coordinator events on stderr"),
+		allowFail:  fs.Bool("allow-failures", false, "exit 0 even when the sweep does not fully gather"),
+	}
+}
+
+func (o *orch) options() (dist.Options, error) {
+	opts := dist.Options{
+		Shards:         *o.shards,
+		Workers:        *o.workers,
+		MaxRetries:     *o.retries,
+		Backoff:        *o.backoff,
+		CheckpointPath: *o.checkpoint,
+	}
+	switch *o.backend {
+	case "proc":
+		exe, err := os.Executable()
+		if err != nil {
+			return opts, fmt.Errorf("sweepd: resolving own binary for worker processes: %v", err)
+		}
+		opts.Backend = &dist.ProcBackend{Argv: []string{exe, "serve"}, Stderr: os.Stderr}
+	case "inproc":
+		opts.Backend = dist.InprocBackend{}
+	default:
+		return opts, fmt.Errorf("sweepd: unknown backend %q (want proc or inproc)", *o.backend)
+	}
+	if *o.progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "sweepd: %d/%d shards\r", done, total)
+		}
+		opts.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	return opts, nil
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("sweepd run", flag.ExitOnError)
+	algName := fs.String("alg", "full", "algorithm (full, no-table, no-reconstruction, paper, three, idle, greedy)")
+	n := fs.Int("n", 7, "robot count: sweep every connected n-robot pattern")
+	visRange := fs.Int("range", 1, "connectivity relaxation: sweep visibility-R-connected patterns")
+	schedName := fs.String("sched", "fsync", "scheduler: fsync, ssync, cent (the adversary solver is not distributable yet)")
+	seeds := fs.Int("seeds", 1, "activation schedules per pattern (seeds 1..M)")
+	maxRounds := fs.Int("max-rounds", 0, "round budget per run (0 = default)")
+	o := orchFlags(fs)
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "sweepd run: unexpected argument %q\n", fs.Arg(0))
+		os.Exit(2)
+	}
+	opts, err := o.options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts.Spec = sweep.SpecDesc{N: *n, Alg: *algName, Sched: *schedName, Seeds: *seeds, VisRange: *visRange, MaxRounds: *maxRounds}
+	report, err := dist.Run(context.Background(), opts)
+	emit(report, err, o)
+}
+
+func cmdResume(args []string) {
+	fs := flag.NewFlagSet("sweepd resume", flag.ExitOnError)
+	o := orchFlags(fs)
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "sweepd resume: unexpected argument %q\n", fs.Arg(0))
+		os.Exit(2)
+	}
+	if *o.checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "sweepd resume: -checkpoint is required (the sweep description lives in the checkpoint)")
+		os.Exit(2)
+	}
+	opts, err := o.options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	report, err := dist.Resume(context.Background(), opts)
+	emit(report, err, o)
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("sweepd serve", flag.ExitOnError)
+	fs.Parse(args)
+	if err := dist.Serve(context.Background(), os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "sweepd serve: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// emit prints the merged report exactly as cmd/verify does — same
+// MarshalIndent shape under -json, same String rendering otherwise,
+// same exit-code contract — so `sweepd run -json` is byte-comparable
+// against `verify -json` (the CI dist job does exactly that).
+func emit(report *sweep.Report, err error, o *orch) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
+		os.Exit(2)
+	}
+	if *o.progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	if *o.jsonOut {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Println(report)
+		if report.Schedules > 1 {
+			fmt.Println("\nrobustness histogram (patterns by schedules gathered):")
+			for k, count := range report.Robust {
+				if count > 0 {
+					fmt.Printf("%4d/%d: %6d\n", k, report.Schedules, count)
+				}
+			}
+		}
+	}
+	if !report.AllGathered() && !*o.allowFail {
+		os.Exit(1)
+	}
+}

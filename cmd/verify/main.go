@@ -36,7 +36,16 @@
 //	              own game-state memo
 //	-json         print the aggregated report as JSON
 //	-cases F      stream every per-run result to F as JSON lines while
-//	              sweeping (constant memory: nothing is retained)
+//	              sweeping (constant memory: nothing is retained). The
+//	              stream opens with a header record (schema version,
+//	              spec digest, source range) so downstream mergers
+//	              detect version skew; per-line consumers skip it
+//	-worker LO:HI worker mode for the distributed testbed (cmd/sweepd,
+//	              internal/dist): execute only the source-range shard
+//	              [LO, HI) and emit the framed JSONL stream — header,
+//	              cases with full-sweep global indices, trailing shard
+//	              summary — on stdout. Gathering failures do not affect
+//	              the exit status (the coordinator owns the verdict)
 //	-stats        print rounds histogram and per-diameter table
 //	-classes      print the failure taxonomy (status × initial diameter)
 //
@@ -45,7 +54,8 @@
 //	verify [-alg full|no-table|no-reconstruction|paper|three|idle|greedy]
 //	       [-n 7] [-range 1] [-sched fsync|ssync|cent|adv] [-seeds 1]
 //	       [-max-rounds N] [-workers N] [-memo] [-stats] [-classes]
-//	       [-json] [-cases out.jsonl] [-allow-failures] [-progress]
+//	       [-json] [-cases out.jsonl] [-worker lo:hi] [-allow-failures]
+//	       [-progress]
 //
 // Exit status: 0 when every run gathered (every pattern safe, for
 // -sched adv) or -allow-failures was given; 1 when the sweep completed
@@ -65,27 +75,12 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
-
-// caseLine is the JSONL schema of -cases: one line per run. The
-// verdict fields are set only by -sched adv (full witness schedules
-// stream from cmd/adversary, which owns the richer format).
-type caseLine struct {
-	Index   int    `json:"index"`
-	Pattern int    `json:"pattern"`
-	Initial string `json:"initial"`
-	Seed    int64  `json:"seed,omitempty"`
-	Status  string `json:"status"`
-	Rounds  int    `json:"rounds"`
-	Moves   int    `json:"moves"`
-	Class   string `json:"class,omitempty"`
-	Verdict string `json:"verdict,omitempty"`
-	Method  string `json:"method,omitempty"`
-}
 
 func main() {
 	algName := flag.String("alg", "full", "algorithm (full, no-table, no-reconstruction, paper, three, idle, greedy)")
@@ -100,6 +95,7 @@ func main() {
 	classes := flag.Bool("classes", false, "print the failure taxonomy (status × initial diameter)")
 	jsonOut := flag.Bool("json", false, "print the aggregated report as JSON")
 	casesPath := flag.String("cases", "", "stream per-run results to this file as JSON lines")
+	workerRange := flag.String("worker", "", "worker mode: execute only the source-range shard LO:HI and emit the framed JSONL stream (header, cases, shard summary) on stdout")
 	allowFailures := flag.Bool("allow-failures", false, "exit 0 even when the sweep does not fully gather")
 	progress := flag.Bool("progress", false, "report sweep progress on stderr")
 	flag.Usage = func() {
@@ -126,9 +122,19 @@ are bit-identical to -memo=false at every worker count; -progress
 prints the store's hit/miss/states summary to stderr. -sched adv
 ignores it (the solver keeps its own game-state memo).
 
+Distributed operation (-worker, cmd/sweepd): -worker LO:HI executes
+only the source-range shard [LO, HI) and emits the framed JSONL
+stream of the distributed testbed — a header record (schema version,
+spec digest, shard), one case per run with full-sweep global indices,
+and a trailing shard summary — on stdout. cmd/sweepd coordinates such
+shards across worker processes and merges them into a report
+bit-identical to a single-process run. Plain -cases files open with
+the same header record so downstream mergers detect version skew;
+consumers of the per-run lines skip the first record.
+
 Exit status:
   0  every run gathered (every pattern safe under -sched adv), or
-     -allow-failures was given
+     -allow-failures was given; a -worker shard that completed
   1  the sweep completed but some run did not gather
   2  usage or internal error
 
@@ -157,6 +163,27 @@ Flags:
 		// JSON, as by_class.)
 		fmt.Fprintln(os.Stderr, "verify: -stats and -json are mutually exclusive (use -cases for per-run JSON)")
 		os.Exit(2)
+	}
+
+	// Worker mode: one shard of a distributed sweep, framed JSONL on
+	// stdout (internal/dist wire format), nothing else. The coordinator
+	// aggregates, so every report/exit-code flag is inapplicable.
+	if *workerRange != "" {
+		if *jsonOut || *stats || *classes || *progress || *casesPath != "" {
+			fmt.Fprintln(os.Stderr, "verify: -worker emits only the framed case stream; -json/-stats/-classes/-progress/-cases do not apply")
+			os.Exit(2)
+		}
+		shard, err := sweep.ParseRange(*workerRange)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			os.Exit(2)
+		}
+		desc := sweep.SpecDesc{N: *n, Alg: *algName, Sched: *schedName, Seeds: *seeds, VisRange: *visRange, MaxRounds: *maxRounds}
+		if err := dist.RunShard(context.Background(), desc, shard, os.Stdout, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			os.Exit(2)
+		}
+		return
 	}
 
 	// One shared view→move cache for the whole invocation: every worker
@@ -224,7 +251,10 @@ Flags:
 
 	// Per-run streaming output: each result is written as it is
 	// delivered (in order), never retained — a 2.6 M-run sweep streams
-	// in O(workers) memory.
+	// in O(workers) memory. The stream opens with a version header
+	// (schema version, spec digest, source range) so a merger fed by
+	// mismatched binaries fails loudly instead of mis-merging; per-line
+	// consumers just skip the first record.
 	var visit func(sweep.CaseResult) error
 	var casesBuf *bufio.Writer
 	var casesFile *os.File
@@ -237,24 +267,17 @@ Flags:
 		casesFile = f
 		casesBuf = bufio.NewWriter(f)
 		enc := json.NewEncoder(casesBuf)
+		if spec.Source == nil {
+			spec.Source = sweep.Connected(*n) // the Stream default, materialized for the header's range
+		}
+		desc := sweep.SpecDesc{N: *n, Alg: *algName, Sched: *schedName, Seeds: *seeds, VisRange: *visRange, MaxRounds: *maxRounds}
+		full := sweep.Range{Lo: 0, Hi: spec.Source.Count()}
+		if err := enc.Encode(dist.Header{Schema: dist.SchemaVersion, Spec: desc.Digest(), Shard: full}); err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			os.Exit(2)
+		}
 		visit = func(c sweep.CaseResult) error {
-			line := caseLine{
-				Index:   c.Index,
-				Pattern: c.Pattern,
-				Initial: c.Initial.Key(),
-				Seed:    c.Seed,
-				Status:  c.Status.String(),
-				Rounds:  c.Rounds,
-				Moves:   c.Moves,
-			}
-			if c.Status != sim.Gathered {
-				line.Class = c.Class.String()
-			}
-			if c.Verdict != nil {
-				line.Verdict = c.Verdict.Kind.String()
-				line.Method = c.Verdict.Method
-			}
-			return enc.Encode(line)
+			return enc.Encode(dist.CaseFromResult(c, sweep.Range{}, *seeds))
 		}
 	}
 

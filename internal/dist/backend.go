@@ -1,0 +1,131 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"sync"
+)
+
+// Backend starts worker nodes — the pluggable seam of the testbed,
+// mirroring iptb's localnode/dockernode split. The local-process
+// backend execs persistent `sweepd serve` workers; an in-process
+// backend runs shards directly for tests and benchmarks; a container
+// backend would implement the same two methods over `docker run`.
+type Backend interface {
+	// Name identifies the backend in logs and reports.
+	Name() string
+	// Start launches one worker node, ready to execute work units. The
+	// context bounds the worker's whole lifetime, not a single unit.
+	Start(ctx context.Context) (Worker, error)
+}
+
+// Worker is one running worker node. A worker executes units one at a
+// time; the coordinator owns the concurrency (one goroutine per
+// worker slot).
+type Worker interface {
+	// Run executes one work unit and returns its verified shard
+	// result. An error means the unit did NOT complete — the worker
+	// crashed, was killed, or answered out of protocol — and the
+	// coordinator re-queues the shard; a worker that errors must be
+	// Closed and replaced, not reused.
+	Run(ctx context.Context, u WorkUnit) (*ShardResult, error)
+	// Close tears the worker down, releasing its process or node.
+	Close() error
+}
+
+// InprocBackend runs shards in the calling process, through the exact
+// wire encode/decode path the process backends use (RunShard piped
+// into ReadShard) — so tests and benchmarks of the coordinator
+// exercise the real protocol without spawning processes.
+type InprocBackend struct{}
+
+func (InprocBackend) Name() string { return "inproc" }
+
+func (InprocBackend) Start(ctx context.Context) (Worker, error) {
+	return &inprocWorker{st: &WorkerState{}}, nil
+}
+
+type inprocWorker struct {
+	st *WorkerState
+}
+
+func (w *inprocWorker) Run(ctx context.Context, u WorkUnit) (*ShardResult, error) {
+	var buf bytes.Buffer
+	if err := RunShard(ctx, u.Spec, u.Shard, &buf, w.st); err != nil {
+		return nil, err
+	}
+	return ReadShard(json.NewDecoder(&buf), Header{Schema: SchemaVersion, Spec: u.Spec.Digest(), Shard: u.Shard})
+}
+
+func (w *inprocWorker) Close() error { return nil }
+
+// ProcBackend is the local-process exec backend: each worker is a
+// subprocess (normally `sweepd serve`) speaking work-unit lines on
+// stdin and framed shard streams on stdout. Killing the process at any
+// point is safe by construction — the coordinator sees a truncated
+// stream, closes the handle, and re-queues the shard on a fresh
+// worker.
+type ProcBackend struct {
+	// Argv is the worker command line, e.g. [sweepd, serve].
+	Argv []string
+	// Stderr receives the workers' stderr when non-nil (diagnostics
+	// only; the protocol lives on stdout).
+	Stderr io.Writer
+}
+
+func (b *ProcBackend) Name() string { return "proc" }
+
+func (b *ProcBackend) Start(ctx context.Context) (Worker, error) {
+	if len(b.Argv) == 0 {
+		return nil, fmt.Errorf("dist: proc backend has no worker command")
+	}
+	cmd := exec.CommandContext(ctx, b.Argv[0], b.Argv[1:]...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = b.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("dist: starting worker %q: %w", b.Argv[0], err)
+	}
+	return &procWorker{cmd: cmd, stdin: stdin, enc: json.NewEncoder(stdin), dec: json.NewDecoder(stdout)}, nil
+}
+
+type procWorker struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	enc   *json.Encoder
+	dec   *json.Decoder
+	once  sync.Once
+}
+
+// Pid exposes the worker's process id — the fault-injection tests
+// SIGKILL it mid-shard to prove the coordinator re-queues.
+func (w *procWorker) Pid() int { return w.cmd.Process.Pid }
+
+func (w *procWorker) Run(ctx context.Context, u WorkUnit) (*ShardResult, error) {
+	if err := w.enc.Encode(u); err != nil {
+		return nil, fmt.Errorf("dist: sending unit to worker %d: %w", w.Pid(), err)
+	}
+	return ReadShard(w.dec, Header{Schema: SchemaVersion, Spec: u.Spec.Digest(), Shard: u.Shard})
+}
+
+func (w *procWorker) Close() error {
+	var err error
+	w.once.Do(func() {
+		w.stdin.Close() // EOF ends a healthy serve loop
+		if w.cmd.Process != nil {
+			w.cmd.Process.Kill()
+		}
+		err = w.cmd.Wait()
+	})
+	return err
+}

@@ -1,0 +1,308 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// Options configures a coordinated distributed sweep.
+type Options struct {
+	// Spec describes the sweep (normalized and digested internally).
+	Spec sweep.SpecDesc
+	// Shards is the number of source-range work units (default
+	// 4 × Workers): several shards per worker keeps the pool busy when
+	// shard runtimes vary, and bounds what a crash re-executes.
+	Shards int
+	// Workers is the number of concurrent worker nodes (default 1).
+	Workers int
+	// Backend supplies the worker nodes (required).
+	Backend Backend
+	// MaxRetries is how many times one shard may be re-queued after a
+	// worker failure before the run aborts (default 3).
+	MaxRetries int
+	// Backoff is the delay before a failed shard's first retry,
+	// doubling per subsequent attempt (default 100ms).
+	Backoff time.Duration
+	// CheckpointPath, when set, persists progress after every absorbed
+	// shard. Run refuses an existing file (resume instead — a fresh
+	// run would silently discard its progress); Resume requires one.
+	CheckpointPath string
+	// Progress, when non-nil, is called after every absorbed shard
+	// with the number of absorbed and planned shards.
+	Progress func(doneShards, totalShards int)
+	// Log, when non-nil, receives coordinator events: worker crashes,
+	// re-queues, retries. Results never flow through it.
+	Log func(format string, args ...any)
+}
+
+func (o *Options) defaults() error {
+	if o.Backend == nil {
+		return fmt.Errorf("dist: no backend configured")
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.Shards < 1 {
+		o.Shards = 4 * o.Workers
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.Backoff == 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Run plans and executes a distributed sweep from scratch: partition
+// the source into shards, dispatch them to the backend's workers,
+// absorb each verified shard stream atomically into the shared
+// aggregator, checkpoint after every absorption. The returned Report
+// is bit-identical to sweep.Run of the same Spec in one process — at
+// any shard count, worker count, or completion order.
+func Run(ctx context.Context, opts Options) (*sweep.Report, error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	opts.Spec.Normalize()
+	if err := opts.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.CheckpointPath != "" {
+		if _, err := os.Stat(opts.CheckpointPath); err == nil {
+			return nil, fmt.Errorf("dist: checkpoint %s already exists (resume it, or remove it for a fresh run)", opts.CheckpointPath)
+		}
+	}
+	meta, err := opts.Spec.Meta()
+	if err != nil {
+		return nil, err
+	}
+	if meta.Patterns == 0 {
+		return sweep.NewAggregator(meta, false).Finish(), nil
+	}
+	plan := sweep.Partition(meta.Patterns, opts.Shards)
+	agg := sweep.NewAggregator(meta, false)
+	ck := &Checkpoint{
+		Version: CheckpointVersion,
+		Digest:  opts.Spec.Digest(),
+		Spec:    opts.Spec,
+		Plan:    plan,
+	}
+	if opts.CheckpointPath != "" {
+		// Persist the plan before the first shard runs: a coordinator
+		// preempted at any point — even immediately — leaves a
+		// resumable checkpoint.
+		snap, err := agg.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		ck.Agg = snap
+		if err := SaveCheckpoint(opts.CheckpointPath, ck); err != nil {
+			return nil, fmt.Errorf("dist: persisting checkpoint: %w", err)
+		}
+	}
+	return run(ctx, opts, meta, ck, agg, ck.Remaining())
+}
+
+// Resume continues a distributed sweep from its checkpoint: completed
+// shards are never re-executed, the aggregate picks up exactly where
+// it stopped, and the final report equals an uninterrupted run's. The
+// sweep descriptor comes from the checkpoint itself; Options.Spec is
+// ignored.
+func Resume(ctx context.Context, opts Options) (*sweep.Report, error) {
+	if opts.CheckpointPath == "" {
+		return nil, fmt.Errorf("dist: resume needs a checkpoint path")
+	}
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	ck, err := LoadCheckpoint(opts.CheckpointPath)
+	if err != nil {
+		return nil, err
+	}
+	opts.Spec = ck.Spec
+	meta, err := ck.Spec.Meta()
+	if err != nil {
+		return nil, err
+	}
+	if last := ck.Plan[len(ck.Plan)-1]; last.Hi != meta.Patterns {
+		return nil, fmt.Errorf("dist: checkpoint plan covers %d patterns, source has %d", last.Hi, meta.Patterns)
+	}
+	agg, err := sweep.RestoreAggregator(ck.Agg)
+	if err != nil {
+		return nil, err
+	}
+	return run(ctx, opts, meta, ck, agg, ck.Remaining())
+}
+
+// shardOutcome is one worker's answer for one shard: a verified result
+// or the failure that voids the attempt.
+type shardOutcome struct {
+	idx int
+	res *ShardResult
+	err error
+}
+
+// run is the shared executor behind Run and Resume. All absorption
+// happens on this goroutine — a shard is merged in one uninterruptible
+// step only after its stream verified end to end, so a worker dying
+// mid-shard can never leave a half-merged aggregate — and the
+// checkpoint is rewritten atomically after every merge.
+func run(ctx context.Context, opts Options, meta sweep.Meta, ck *Checkpoint, agg *sweep.Aggregator, remaining []int) (*sweep.Report, error) {
+	finish := func() (*sweep.Report, error) {
+		report := agg.Finish()
+		// PeakPending and the memo counters are per-process
+		// diagnostics; they stay zero on a merged report (both are
+		// excluded from JSON anyway).
+		return report, nil
+	}
+	if len(remaining) == 0 {
+		return finish()
+	}
+	d := opts.Spec
+	d.Normalize()
+	m := d.Seeds
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Buffered to the full queue so a delayed retry can never block:
+	// each shard is in flight at most once at a time.
+	work := make(chan int, len(ck.Plan))
+	for _, i := range remaining {
+		work <- i
+	}
+	results := make(chan shardOutcome, opts.Workers)
+
+	var wg sync.WaitGroup
+	for s := 0; s < opts.Workers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var w Worker
+			defer func() {
+				if w != nil {
+					w.Close()
+				}
+			}()
+			for {
+				var idx int
+				select {
+				case idx = <-work:
+				case <-ctx.Done():
+					return
+				}
+				if w == nil {
+					nw, err := opts.Backend.Start(ctx)
+					if err != nil {
+						select {
+						case results <- shardOutcome{idx: idx, err: fmt.Errorf("starting worker: %w", err)}:
+						case <-ctx.Done():
+						}
+						continue
+					}
+					w = nw
+				}
+				res, err := w.Run(ctx, WorkUnit{Spec: opts.Spec, Shard: ck.Plan[idx]})
+				if err != nil {
+					// The worker is unusable after a failed unit (its
+					// stream position is unknown); replace it.
+					w.Close()
+					w = nil
+				}
+				select {
+				case results <- shardOutcome{idx: idx, res: res, err: err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	defer wg.Wait()
+	defer cancel() // runs before wg.Wait: stops the pool, then reaps it
+
+	attempts := map[int]int{}
+	absorbed := len(ck.Done)
+	for absorbed < len(ck.Plan) {
+		var out shardOutcome
+		select {
+		case out = <-results:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		shard := ck.Plan[out.idx]
+		if out.err != nil {
+			attempts[out.idx]++
+			if attempts[out.idx] > opts.MaxRetries {
+				return nil, fmt.Errorf("dist: shard %s failed %d times, giving up: %w", shard, attempts[out.idx], out.err)
+			}
+			delay := opts.Backoff << (attempts[out.idx] - 1)
+			opts.Log("dist: shard %s attempt %d failed (%v); re-queueing in %s", shard, attempts[out.idx], out.err, delay)
+			idx := out.idx
+			go func() {
+				select {
+				case <-time.After(delay):
+					work <- idx // buffered to the full plan: never blocks
+				case <-ctx.Done():
+				}
+			}()
+			continue
+		}
+		// Absorb atomically: parse and verify every case first, merge
+		// only if the whole shard checks out.
+		crs, err := shardCases(out.res, shard, m)
+		if err != nil {
+			return nil, err
+		}
+		for _, cr := range crs {
+			agg.Absorb(cr)
+		}
+		ck.Done = append(ck.Done, out.idx)
+		absorbed++
+		if opts.CheckpointPath != "" {
+			snap, err := agg.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			ck.Agg = snap
+			if err := SaveCheckpoint(opts.CheckpointPath, ck); err != nil {
+				return nil, fmt.Errorf("dist: persisting checkpoint: %w", err)
+			}
+		}
+		if opts.Progress != nil {
+			opts.Progress(absorbed, len(ck.Plan))
+		}
+	}
+	return finish()
+}
+
+// shardCases parses a verified shard stream into engine results,
+// checking the index bookkeeping the aggregator's correctness rides
+// on: exactly shard.Len()*m cases, densely indexed from the shard
+// base, patterns grouped with their schedules in order.
+func shardCases(res *ShardResult, shard sweep.Range, m int) ([]sweep.CaseResult, error) {
+	if len(res.Cases) != shard.Len()*m {
+		return nil, fmt.Errorf("dist: shard %s returned %d cases, want %d", shard, len(res.Cases), shard.Len()*m)
+	}
+	out := make([]sweep.CaseResult, 0, len(res.Cases))
+	base := shard.Lo * m
+	for k, c := range res.Cases {
+		if c.Index != base+k || c.Pattern != shard.Lo+k/m {
+			return nil, fmt.Errorf("dist: shard %s case %d is mis-indexed (index %d, pattern %d)", shard, k, c.Index, c.Pattern)
+		}
+		cr, err := c.Result()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cr)
+	}
+	return out, nil
+}

@@ -1,0 +1,447 @@
+package dist_test
+
+// The distributed testbed's contract: any partition of a sweep — one
+// shard, prime shard counts, singleton shards — merged in any arrival
+// order produces a report bit-identical to the single-process engine;
+// checkpoints round-trip exactly and damaged ones are rejected; failed
+// shards are re-queued within the retry budget; and a preempted
+// coordinator resumes from its checkpoint without re-executing
+// completed shards, still bit-identically.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/sweep"
+)
+
+// testDesc is the sweep most tests distribute: small enough to run in
+// milliseconds, SSYNC-seeded so pattern groups span several cases and
+// the robustness histogram is exercised.
+func testDesc() sweep.SpecDesc {
+	d := sweep.SpecDesc{N: 5, Sched: "ssync", Seeds: 3}
+	d.Normalize()
+	return d
+}
+
+func reportJSON(t *testing.T, r *sweep.Report) string {
+	t.Helper()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func serialJSON(t *testing.T, d sweep.SpecDesc) string {
+	t.Helper()
+	spec, err := d.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reportJSON(t, rep)
+}
+
+func TestRunMatchesSerialAtAnyPartition(t *testing.T) {
+	d := testDesc()
+	want := serialJSON(t, d)
+	meta, err := d.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ shards, workers int }{
+		{1, 1},                 // degenerate: the whole sweep is one shard
+		{7, 3},                 // prime shard count, uneven sizes
+		{meta.Patterns, 4},     // singleton shards
+		{meta.Patterns + 9, 2}, // more shards than patterns (clamped)
+	} {
+		rep, err := dist.Run(context.Background(), dist.Options{
+			Spec:    d,
+			Shards:  tc.shards,
+			Workers: tc.workers,
+			Backend: dist.InprocBackend{},
+		})
+		if err != nil {
+			t.Fatalf("shards=%d workers=%d: %v", tc.shards, tc.workers, err)
+		}
+		if got := reportJSON(t, rep); got != want {
+			t.Fatalf("shards=%d workers=%d: merged report differs from serial reference", tc.shards, tc.workers)
+		}
+	}
+}
+
+// TestOutOfOrderAbsorption merges shard streams in reverse plan order —
+// the worst case for arrival order — directly through the aggregator,
+// proving absorption order is irrelevant as long as each shard holds
+// whole patterns.
+func TestOutOfOrderAbsorption(t *testing.T) {
+	d := testDesc()
+	want := serialJSON(t, d)
+	meta, err := d.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := sweep.Partition(meta.Patterns, 7)
+	results := make([]*dist.ShardResult, len(plan))
+	st := &dist.WorkerState{}
+	for i, r := range plan {
+		var buf bytes.Buffer
+		if err := dist.RunShard(context.Background(), d, r, &buf, st); err != nil {
+			t.Fatal(err)
+		}
+		res, err := dist.ReadShard(json.NewDecoder(&buf), dist.Header{Schema: dist.SchemaVersion, Spec: d.Digest(), Shard: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+	agg := sweep.NewAggregator(meta, false)
+	for i := len(results) - 1; i >= 0; i-- {
+		for _, c := range results[i].Cases {
+			cr, err := c.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg.Absorb(cr)
+		}
+	}
+	if got := reportJSON(t, agg.Finish()); got != want {
+		t.Fatal("reverse-order absorption differs from serial reference")
+	}
+}
+
+func TestReadShardRejectsSkewAndTruncation(t *testing.T) {
+	d := testDesc()
+	shard := sweep.Range{Lo: 0, Hi: 4}
+	var buf bytes.Buffer
+	if err := dist.RunShard(context.Background(), d, shard, &buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.String()
+	head := dist.Header{Schema: dist.SchemaVersion, Spec: d.Digest(), Shard: shard}
+
+	// Version skew: a header from a different spec digest.
+	skew := head
+	skew.Spec = strings.Repeat("0", 64)
+	if _, err := dist.ReadShard(json.NewDecoder(strings.NewReader(stream)), skew); err == nil {
+		t.Fatal("ReadShard accepted a stream with a mismatched spec digest")
+	}
+	// Truncation: cut the stream before the trailing summary, as a
+	// SIGKILLed worker would.
+	cut := strings.LastIndex(strings.TrimRight(stream, "\n"), "\n")
+	if _, err := dist.ReadShard(json.NewDecoder(strings.NewReader(stream[:cut+1])), head); err == nil {
+		t.Fatal("ReadShard accepted a truncated stream")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	d := testDesc()
+	meta, err := d.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := sweep.NewAggregator(meta, false)
+	snap, err := agg.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &dist.Checkpoint{
+		Version: dist.CheckpointVersion,
+		Digest:  d.Digest(),
+		Spec:    d,
+		Plan:    sweep.Partition(meta.Patterns, 5),
+		Agg:     snap,
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := dist.SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dist.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Digest != ck.Digest || len(back.Plan) != len(ck.Plan) || len(back.Remaining()) != len(ck.Plan) {
+		t.Fatalf("checkpoint did not round-trip: %+v", back)
+	}
+}
+
+func TestLoadCheckpointRejectsDamage(t *testing.T) {
+	d := testDesc()
+	meta, err := d.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := sweep.NewAggregator(meta, false)
+	snap, err := agg.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &dist.Checkpoint{
+		Version: dist.CheckpointVersion,
+		Digest:  d.Digest(),
+		Spec:    d,
+		Plan:    sweep.Partition(meta.Patterns, 5),
+		Agg:     snap,
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	if err := dist.SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	damage := func(name string, contents []byte) {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, contents, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dist.LoadCheckpoint(p); err == nil {
+			t.Errorf("%s: LoadCheckpoint accepted a damaged file", name)
+		}
+	}
+	damage("truncated.json", data[:len(data)/2])
+	flipped := append([]byte(nil), data...)
+	flipped[bytes.Index(flipped, []byte(`"plan"`))+10] ^= 1
+	damage("corrupt.json", flipped)
+	damage("empty.json", nil)
+
+	// Internally inconsistent but correctly hashed: duplicate done index.
+	bad := *ck
+	bad.Done = []int{1, 1}
+	badPath := filepath.Join(dir, "dup.json")
+	if err := dist.SaveCheckpoint(badPath, &bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dist.LoadCheckpoint(badPath); err == nil {
+		t.Error("LoadCheckpoint accepted a checkpoint with duplicate done shards")
+	}
+}
+
+// flakyBackend injects exactly one failure per shard: the first attempt
+// at each shard errors, the retry succeeds. Run must complete within
+// the default retry budget and stay bit-identical.
+type flakyBackend struct {
+	inner dist.Backend
+	mu    sync.Mutex
+	tried map[sweep.Range]bool
+	fails int
+}
+
+func (b *flakyBackend) Name() string { return "flaky" }
+
+func (b *flakyBackend) Start(ctx context.Context) (dist.Worker, error) {
+	w, err := b.inner.Start(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyWorker{b: b, inner: w}, nil
+}
+
+type flakyWorker struct {
+	b     *flakyBackend
+	inner dist.Worker
+}
+
+func (w *flakyWorker) Run(ctx context.Context, u dist.WorkUnit) (*dist.ShardResult, error) {
+	w.b.mu.Lock()
+	first := !w.b.tried[u.Shard]
+	w.b.tried[u.Shard] = true
+	if first {
+		w.b.fails++
+	}
+	w.b.mu.Unlock()
+	if first {
+		return nil, errors.New("injected worker crash")
+	}
+	return w.inner.Run(ctx, u)
+}
+
+func (w *flakyWorker) Close() error { return w.inner.Close() }
+
+func TestRunRequeuesFailedShards(t *testing.T) {
+	d := testDesc()
+	want := serialJSON(t, d)
+	b := &flakyBackend{inner: dist.InprocBackend{}, tried: map[sweep.Range]bool{}}
+	var requeues int
+	rep, err := dist.Run(context.Background(), dist.Options{
+		Spec:    d,
+		Shards:  6,
+		Workers: 2,
+		Backend: b,
+		Backoff: 1, // nanoseconds: keep the test fast
+		Log: func(format string, args ...any) {
+			if strings.Contains(format, "re-queueing") {
+				requeues++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, rep); got != want {
+		t.Fatal("report after injected failures differs from serial reference")
+	}
+	if b.fails != 6 || requeues != 6 {
+		t.Fatalf("injected %d failures, logged %d re-queues; want 6 of each", b.fails, requeues)
+	}
+}
+
+// brokenBackend always fails, so every shard exhausts its retries.
+type brokenBackend struct{}
+
+func (brokenBackend) Name() string { return "broken" }
+func (brokenBackend) Start(ctx context.Context) (dist.Worker, error) {
+	return brokenWorker{}, nil
+}
+
+type brokenWorker struct{}
+
+func (brokenWorker) Run(ctx context.Context, u dist.WorkUnit) (*dist.ShardResult, error) {
+	return nil, errors.New("permanently broken")
+}
+func (brokenWorker) Close() error { return nil }
+
+func TestRunGivesUpAfterMaxRetries(t *testing.T) {
+	_, err := dist.Run(context.Background(), dist.Options{
+		Spec:       testDesc(),
+		Shards:     2,
+		Workers:    1,
+		Backend:    brokenBackend{},
+		MaxRetries: 2,
+		Backoff:    1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("Run with a broken backend returned %v; want a giving-up error", err)
+	}
+}
+
+// countingBackend records which shards it actually executed — the
+// resume test asserts completed shards are never re-run.
+type countingBackend struct {
+	inner dist.Backend
+	mu    sync.Mutex
+	ran   map[sweep.Range]int
+}
+
+func (b *countingBackend) Name() string { return b.inner.Name() }
+
+func (b *countingBackend) Start(ctx context.Context) (dist.Worker, error) {
+	w, err := b.inner.Start(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &countingWorker{b: b, inner: w}, nil
+}
+
+type countingWorker struct {
+	b     *countingBackend
+	inner dist.Worker
+}
+
+func (w *countingWorker) Run(ctx context.Context, u dist.WorkUnit) (*dist.ShardResult, error) {
+	w.b.mu.Lock()
+	w.b.ran[u.Shard]++
+	w.b.mu.Unlock()
+	return w.inner.Run(ctx, u)
+}
+
+func (w *countingWorker) Close() error { return w.inner.Close() }
+
+func TestResumeAfterPreemption(t *testing.T) {
+	d := testDesc()
+	want := serialJSON(t, d)
+	path := filepath.Join(t.TempDir(), "ck.json")
+
+	// Preempt the coordinator after two absorbed shards, exactly as a
+	// SIGKILL would — except here the checkpoint is guaranteed to hold
+	// precisely two done shards, making the assertion sharp.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := dist.Run(ctx, dist.Options{
+		Spec:           d,
+		Shards:         8,
+		Workers:        1,
+		Backend:        dist.InprocBackend{},
+		CheckpointPath: path,
+		Progress: func(done, total int) {
+			if done == 2 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("preempted Run returned nil error")
+	}
+	ck, err := dist.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Done) != 2 {
+		t.Fatalf("checkpoint has %d done shards, want 2", len(ck.Done))
+	}
+	done := map[sweep.Range]bool{}
+	for _, i := range ck.Done {
+		done[ck.Plan[i]] = true
+	}
+
+	b := &countingBackend{inner: dist.InprocBackend{}, ran: map[sweep.Range]int{}}
+	rep, err := dist.Resume(context.Background(), dist.Options{
+		Workers:        2,
+		Backend:        b,
+		CheckpointPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, rep); got != want {
+		t.Fatal("resumed report differs from serial reference")
+	}
+	for r := range b.ran {
+		if done[r] {
+			t.Errorf("resume re-executed completed shard %s", r)
+		}
+	}
+	if len(b.ran) != len(ck.Plan)-2 {
+		t.Errorf("resume executed %d shards, want %d", len(b.ran), len(ck.Plan)-2)
+	}
+}
+
+func TestRunRefusesExistingCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := os.WriteFile(path, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := dist.Run(context.Background(), dist.Options{
+		Spec:           testDesc(),
+		Backend:        dist.InprocBackend{},
+		CheckpointPath: path,
+	})
+	if err == nil || !strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("Run over an existing checkpoint returned %v; want a refusal", err)
+	}
+}
+
+func TestRunRejectsAdversaryScheduler(t *testing.T) {
+	d := sweep.SpecDesc{N: 5, Sched: "adv"}
+	_, err := dist.Run(context.Background(), dist.Options{Spec: d, Backend: dist.InprocBackend{}})
+	if err == nil {
+		t.Fatal("Run accepted the adversary scheduler, whose reports are not merge-stable")
+	}
+	_ = fmt.Sprint(err)
+}

@@ -1,0 +1,174 @@
+package dist_test
+
+// Integration tests for the local-process exec backend: a real
+// `sweepd serve` subprocess pool, including one worker SIGKILLed
+// mid-run — the coordinator must detect the truncated stream, re-queue
+// the shard on a fresh process, and still produce the bit-identical
+// report. The sweepd binary is built once per test run with the local
+// toolchain.
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/sweep"
+)
+
+var (
+	sweepdOnce sync.Once
+	sweepdPath string
+	sweepdErr  error
+)
+
+// buildSweepd compiles cmd/sweepd once into a shared temp dir and
+// returns the binary path, skipping the caller if the toolchain is
+// unavailable.
+func buildSweepd(t *testing.T) string {
+	t.Helper()
+	sweepdOnce.Do(func() {
+		if _, err := exec.LookPath("go"); err != nil {
+			sweepdErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "sweepd-test")
+		if err != nil {
+			sweepdErr = err
+			return
+		}
+		bin := filepath.Join(dir, "sweepd")
+		cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/sweepd")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			sweepdErr = err
+			t.Logf("building sweepd: %s", out)
+			return
+		}
+		sweepdPath = bin
+	})
+	if sweepdErr != nil {
+		t.Skipf("cannot build sweepd: %v", sweepdErr)
+	}
+	return sweepdPath
+}
+
+func TestProcBackendMatchesSerial(t *testing.T) {
+	bin := buildSweepd(t)
+	d := testDesc()
+	want := serialJSON(t, d)
+	rep, err := dist.Run(context.Background(), dist.Options{
+		Spec:    d,
+		Shards:  6,
+		Workers: 3,
+		Backend: &dist.ProcBackend{Argv: []string{bin, "serve"}, Stderr: os.Stderr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, rep); got != want {
+		t.Fatal("proc-backend report differs from serial reference")
+	}
+}
+
+// killingBackend SIGKILLs each worker process right before its first
+// unit runs — the harshest mid-shard crash — so every shard's first
+// attempt dies and succeeds only on the replacement worker.
+type killingBackend struct {
+	inner dist.ProcBackend
+	mu    sync.Mutex
+	kills int
+}
+
+func (b *killingBackend) Name() string { return "killing-proc" }
+
+func (b *killingBackend) Start(ctx context.Context) (dist.Worker, error) {
+	w, err := b.inner.Start(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &killingWorker{b: b, inner: w}, nil
+}
+
+type killingWorker struct {
+	b     *killingBackend
+	inner dist.Worker
+	ran   bool
+}
+
+func (w *killingWorker) Run(ctx context.Context, u dist.WorkUnit) (*dist.ShardResult, error) {
+	w.b.mu.Lock()
+	kill := !w.ran && w.b.kills < 2 // two murders, then let the run finish
+	if kill {
+		w.b.kills++
+	}
+	w.b.mu.Unlock()
+	w.ran = true
+	if kill {
+		pid := w.inner.(interface{ Pid() int }).Pid()
+		if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+			return nil, err
+		}
+	}
+	return w.inner.Run(ctx, u)
+}
+
+func (w *killingWorker) Close() error { return w.inner.Close() }
+
+func TestProcBackendSurvivesSIGKILL(t *testing.T) {
+	bin := buildSweepd(t)
+	d := testDesc()
+	want := serialJSON(t, d)
+	b := &killingBackend{inner: dist.ProcBackend{Argv: []string{bin, "serve"}, Stderr: os.Stderr}}
+	var requeued bool
+	rep, err := dist.Run(context.Background(), dist.Options{
+		Spec:    d,
+		Shards:  4,
+		Workers: 2,
+		Backend: b,
+		Backoff: 1,
+		Log: func(format string, args ...any) {
+			requeued = true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.kills != 2 {
+		t.Fatalf("killed %d workers, want 2", b.kills)
+	}
+	if !requeued {
+		t.Fatal("no shard was re-queued after the SIGKILLs")
+	}
+	if got := reportJSON(t, rep); got != want {
+		t.Fatal("report after SIGKILLed workers differs from serial reference")
+	}
+}
+
+// TestServeSharesWorkerState drives one serve process through several
+// units by hand, proving a persistent worker accepts a unit stream and
+// answers each with a complete framed shard (the warm-memo reuse these
+// persistent workers exist for is invisible on the wire, but unit
+// boundaries and framing are not).
+func TestServeStreamsMultipleUnits(t *testing.T) {
+	bin := buildSweepd(t)
+	d := testDesc()
+	backend := &dist.ProcBackend{Argv: []string{bin, "serve"}, Stderr: os.Stderr}
+	w, err := backend.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for _, shard := range []sweep.Range{{Lo: 0, Hi: 5}, {Lo: 40, Hi: 44}, {Lo: 5, Hi: 6}} {
+		res, err := w.Run(context.Background(), dist.WorkUnit{Spec: d, Shard: shard})
+		if err != nil {
+			t.Fatalf("shard %s on a shared worker: %v", shard, err)
+		}
+		if len(res.Cases) != shard.Len()*3 {
+			t.Fatalf("shard %s returned %d cases, want %d", shard, len(res.Cases), shard.Len()*3)
+		}
+	}
+}

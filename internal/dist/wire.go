@@ -1,0 +1,210 @@
+// Package dist is the distributed sweep testbed: a coordinator that
+// splits a sweep into source-range shards, dispatches them to workers
+// through a pluggable backend (local processes first; the interface
+// leaves room for containers), and merges the per-case JSONL the
+// workers stream back into a sweep.Report that is bit-identical to a
+// single-process run at any shard count, worker count, or arrival
+// order.
+//
+// The design follows the seams the engine already has. The wire format
+// is the cmd/verify -cases JSONL schema, framed by a header record
+// (schema version + spec digest + shard range, so coordinator/worker
+// skew fails loudly) and a trailing summary record (so a worker that
+// dies mid-shard is detected by truncation, never half-merged). The
+// merge is sweep.Aggregator — the same arithmetic the in-process
+// engine aggregates with — and shards are absorbed atomically only
+// after their summary verifies, so a crash re-queues the whole shard.
+// Robustness is first-class: the coordinator persists a checkpoint
+// (completed shards + partial aggregate) after every absorption, so a
+// preempted multi-hour run resumes where it stopped.
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// SchemaVersion is the version of the framed JSONL case stream. It is
+// carried by every stream's header record; a reader that speaks a
+// different version rejects the stream instead of mis-merging it.
+const SchemaVersion = 1
+
+// Header is the first record of a case stream: the stream's schema
+// version, the digest of the sweep descriptor the cases belong to, and
+// the shard of the source they cover. cmd/verify emits it on every
+// -cases stream (consumers of the bare per-run lines can skip the
+// first line); workers emit it first so the coordinator can verify it
+// is merging the run it planned.
+type Header struct {
+	Schema int         `json:"schema"`
+	Spec   string      `json:"spec"`
+	Shard  sweep.Range `json:"shard"`
+}
+
+// Case is one run on the wire — the cmd/verify -cases JSONL schema.
+// Index and Pattern are global (full-sweep) positions even when the
+// case was produced by a shard worker: the worker offsets its local
+// indices by the shard base, so merged streams are indistinguishable
+// from a single process's.
+type Case struct {
+	Index   int    `json:"index"`
+	Pattern int    `json:"pattern"`
+	Initial string `json:"initial"`
+	Seed    int64  `json:"seed,omitempty"`
+	Status  string `json:"status"`
+	Rounds  int    `json:"rounds"`
+	Moves   int    `json:"moves"`
+	Class   string `json:"class,omitempty"`
+	Verdict string `json:"verdict,omitempty"`
+	Method  string `json:"method,omitempty"`
+}
+
+// Summary is the trailing record of a worker's shard stream: its
+// presence is the completion mark (a stream without one was truncated
+// by a crash and must be re-run), and its counts cross-check the cases
+// that preceded it.
+type Summary struct {
+	EOF      bool           `json:"eof"`
+	Shard    sweep.Range    `json:"shard"`
+	Cases    int            `json:"cases"`
+	ByStatus map[string]int `json:"by_status"`
+}
+
+// CaseFromResult maps one shard-local sweep result onto the wire:
+// indices shift from shard-local to global by the shard base, with m
+// runs (schedules) per pattern.
+func CaseFromResult(cr sweep.CaseResult, shard sweep.Range, m int) Case {
+	c := Case{
+		Index:   cr.Index + shard.Lo*m,
+		Pattern: cr.Pattern + shard.Lo,
+		Initial: cr.Initial.Key(),
+		Seed:    cr.Seed,
+		Status:  cr.Status.String(),
+		Rounds:  cr.Rounds,
+		Moves:   cr.Moves,
+	}
+	if cr.Status != sim.Gathered {
+		c.Class = cr.Class.String()
+	}
+	if cr.Verdict != nil {
+		c.Verdict = cr.Verdict.Kind.String()
+		c.Method = cr.Verdict.Method
+	}
+	return c
+}
+
+// Result parses the wire case back into the engine's currency. The
+// taxonomy class is recomputed from the initial pattern rather than
+// parsed, so a merge can never disagree with the engine about it.
+func (c Case) Result() (sweep.CaseResult, error) {
+	status, err := sim.ParseStatus(c.Status)
+	if err != nil {
+		return sweep.CaseResult{}, fmt.Errorf("dist: case %d: %v", c.Index, err)
+	}
+	initial, err := config.ParseKey(c.Initial)
+	if err != nil {
+		return sweep.CaseResult{}, fmt.Errorf("dist: case %d: %v", c.Index, err)
+	}
+	return sweep.CaseResult{
+		Index:   c.Index,
+		Pattern: c.Pattern,
+		Initial: initial,
+		Seed:    c.Seed,
+		Status:  status,
+		Rounds:  c.Rounds,
+		Moves:   c.Moves,
+		Class:   sweep.Classify(initial, status),
+	}, nil
+}
+
+// ShardResult is one verified shard stream: every case between a
+// matching header and a consistent trailing summary.
+type ShardResult struct {
+	Shard   sweep.Range
+	Cases   []Case
+	Summary Summary
+}
+
+// probe distinguishes the three record kinds without committing to a
+// full decode: headers carry "schema", summaries "eof", cases neither.
+type probe struct {
+	Schema int  `json:"schema"`
+	EOF    bool `json:"eof"`
+}
+
+// ReadShard reads one framed shard stream from dec and verifies it
+// end to end: the header must match want exactly (schema version, spec
+// digest, shard range — any skew is a hard error), the summary must be
+// present (truncation means the worker died mid-shard) and must agree
+// with the cases read. The returned result is safe to absorb
+// atomically.
+func ReadShard(dec *json.Decoder, want Header) (*ShardResult, error) {
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("dist: shard %s: reading header: %w", want.Shard, err)
+	}
+	var p probe
+	if err := json.Unmarshal(raw, &p); err != nil || p.Schema == 0 {
+		return nil, fmt.Errorf("dist: shard %s: stream does not start with a header record", want.Shard)
+	}
+	var h Header
+	if err := json.Unmarshal(raw, &h); err != nil {
+		return nil, fmt.Errorf("dist: shard %s: malformed header: %v", want.Shard, err)
+	}
+	if h.Schema != want.Schema {
+		return nil, fmt.Errorf("dist: shard %s: schema skew: worker speaks v%d, coordinator v%d", want.Shard, h.Schema, want.Schema)
+	}
+	if h.Spec != want.Spec {
+		return nil, fmt.Errorf("dist: shard %s: spec skew: worker digest %.12s, coordinator %.12s", want.Shard, h.Spec, want.Spec)
+	}
+	if h.Shard != want.Shard {
+		return nil, fmt.Errorf("dist: shard %s: worker answered for shard %s", want.Shard, h.Shard)
+	}
+
+	res := &ShardResult{Shard: h.Shard}
+	byStatus := map[string]int{}
+	for {
+		raw = raw[:0]
+		if err := dec.Decode(&raw); err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("dist: shard %s: stream truncated after %d cases (worker died mid-shard?)", want.Shard, len(res.Cases))
+			}
+			return nil, fmt.Errorf("dist: shard %s: %w", want.Shard, err)
+		}
+		p = probe{}
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, fmt.Errorf("dist: shard %s: malformed record: %v", want.Shard, err)
+		}
+		if p.EOF {
+			var s Summary
+			if err := json.Unmarshal(raw, &s); err != nil {
+				return nil, fmt.Errorf("dist: shard %s: malformed summary: %v", want.Shard, err)
+			}
+			if s.Shard != want.Shard || s.Cases != len(res.Cases) {
+				return nil, fmt.Errorf("dist: shard %s: summary mismatch: %d cases for shard %s, stream carried %d",
+					want.Shard, s.Cases, s.Shard, len(res.Cases))
+			}
+			for k, v := range s.ByStatus {
+				if byStatus[k] != v {
+					return nil, fmt.Errorf("dist: shard %s: summary counts %s=%d, stream carried %d", want.Shard, k, v, byStatus[k])
+				}
+			}
+			if len(s.ByStatus) != len(byStatus) {
+				return nil, fmt.Errorf("dist: shard %s: summary status breakdown disagrees with stream", want.Shard)
+			}
+			res.Summary = s
+			return res, nil
+		}
+		var c Case
+		if err := json.Unmarshal(raw, &c); err != nil {
+			return nil, fmt.Errorf("dist: shard %s: malformed case: %v", want.Shard, err)
+		}
+		byStatus[c.Status]++
+		res.Cases = append(res.Cases, c)
+	}
+}

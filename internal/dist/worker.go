@@ -1,0 +1,109 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/memo"
+	"repro/internal/sweep"
+)
+
+// WorkUnit is one shard assignment: the full sweep descriptor plus the
+// source range this worker should execute. Carrying the whole
+// descriptor on every unit keeps workers stateless — any worker can
+// pick up any shard, which is what lets the coordinator re-queue a
+// crashed worker's shard on a fresh one.
+type WorkUnit struct {
+	Spec  sweep.SpecDesc `json:"spec"`
+	Shard sweep.Range    `json:"shard"`
+}
+
+// WorkerState is the per-worker warm state shared across the shards a
+// worker executes: the view→move cache and the configuration→outcome
+// store. Successive shards of the same sweep reuse it (that is the
+// whole point of the persistent `sweepd serve` worker — outcome
+// suffixes walked for one shard splice into the next), and it resets
+// automatically when a unit arrives for a different sweep.
+type WorkerState struct {
+	digest   string
+	cache    *core.Memo
+	outcomes *memo.Outcomes
+}
+
+func (st *WorkerState) forSpec(d sweep.SpecDesc) (*core.Memo, *memo.Outcomes) {
+	if st == nil {
+		return core.NewMemo(), memo.NewOutcomes()
+	}
+	if digest := d.Digest(); st.digest != digest {
+		st.digest = digest
+		st.cache = core.NewMemo()
+		st.outcomes = memo.NewOutcomes()
+	}
+	return st.cache, st.outcomes
+}
+
+// RunShard executes one shard of the described sweep and writes the
+// framed JSONL stream — header, cases with global indices, trailing
+// summary — to w. It is the one shard executor: `sweepd serve` loops
+// over it, `cmd/verify -worker` calls it once, and the in-process
+// backend pipes it straight into ReadShard, so every backend speaks
+// bit-identically the same protocol.
+func RunShard(ctx context.Context, d sweep.SpecDesc, shard sweep.Range, w io.Writer, st *WorkerState) error {
+	d.Normalize()
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	spec, err := d.Spec()
+	if err != nil {
+		return err
+	}
+	spec.Cache, spec.OutcomeMemo = st.forSpec(d)
+	full := spec.Source
+	if total := full.Count(); !shard.Valid(total) {
+		return fmt.Errorf("dist: shard %s out of range for %s (%d patterns)", shard, full.Label(), total)
+	}
+	spec.Source = sweep.Shard(full, shard)
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(Header{Schema: SchemaVersion, Spec: d.Digest(), Shard: shard}); err != nil {
+		return err
+	}
+	byStatus := map[string]int{}
+	n := 0
+	_, err = sweep.Stream(ctx, spec, func(cr sweep.CaseResult) error {
+		c := CaseFromResult(cr, shard, d.Seeds)
+		byStatus[c.Status]++
+		n++
+		return enc.Encode(c)
+	})
+	if err != nil {
+		return err
+	}
+	return enc.Encode(Summary{EOF: true, Shard: shard, Cases: n, ByStatus: byStatus})
+}
+
+// Serve is the persistent worker loop behind `sweepd serve` and the
+// local-process backend: it reads WorkUnit JSON lines from r, executes
+// each shard with RunShard onto w (warm state carries across units),
+// and returns on EOF. Any execution or protocol error is fatal — the
+// coordinator treats a dead worker as a crashed one and re-queues its
+// shard elsewhere, so dying loudly is the correct failure mode.
+func Serve(ctx context.Context, r io.Reader, w io.Writer) error {
+	dec := json.NewDecoder(r)
+	st := &WorkerState{}
+	for {
+		var u WorkUnit
+		if err := dec.Decode(&u); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("dist: worker: reading work unit: %w", err)
+		}
+		if err := RunShard(ctx, u.Spec, u.Shard, w, st); err != nil {
+			return fmt.Errorf("dist: worker: shard %s: %w", u.Shard, err)
+		}
+	}
+}

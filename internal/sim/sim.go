@@ -62,6 +62,29 @@ func (s Status) String() string {
 // by-status breakdown).
 func (s Status) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
 
+// ParseStatus inverts String: it resolves a status by its lowercase
+// name. The distributed-sweep wire format and checkpoint files carry
+// statuses by name, so they must parse back exactly.
+func ParseStatus(name string) (Status, error) {
+	for i, n := range statusNames {
+		if n == name {
+			return Status(i), nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown status %q", name)
+}
+
+// UnmarshalText parses the status name, the inverse of MarshalText —
+// it makes map[Status]int round-trip through JSON (checkpoint files).
+func (s *Status) UnmarshalText(text []byte) error {
+	v, err := ParseStatus(string(text))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
 // CollisionKind distinguishes the three prohibited behaviors of §II-A.
 // It is the kernel's type (internal/step owns the collision rules);
 // the alias keeps sim's historical API intact.

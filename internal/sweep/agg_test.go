@@ -1,0 +1,140 @@
+package sweep_test
+
+// The aggregator's contract: absorbing a sweep's cases in any
+// pattern-grouped order reproduces the engine's own report, and a
+// snapshot taken at a pattern boundary — the unit of checkpointing in
+// the distributed testbed — restores to an aggregator that finishes
+// bit-identically to one that never paused.
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// reportJSON renders a report the way cmd/verify -json does; the
+// scheduling-dependent diagnostics (PeakPending, memo counters) are
+// excluded from the marshalled form, so this is the bit-identity the
+// distributed testbed promises.
+func reportJSON(t *testing.T, r *sweep.Report) string {
+	t.Helper()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func ssyncSpec(t *testing.T, n, seeds int) (sweep.SpecDesc, *sweep.Report) {
+	t.Helper()
+	d := sweep.SpecDesc{N: n, Sched: "ssync", Seeds: seeds}
+	d.Normalize()
+	spec, err := d.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.KeepCases = true
+	ref, err := sweep.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, ref
+}
+
+func TestAggregatorMatchesEngine(t *testing.T) {
+	d, ref := ssyncSpec(t, 5, 3)
+	meta, err := d.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := sweep.NewAggregator(meta, false)
+	for _, cr := range ref.Cases {
+		agg.Absorb(cr)
+	}
+	if got, want := reportJSON(t, agg.Finish()), reportJSON(t, ref); got != want {
+		t.Fatalf("re-aggregated report differs from engine report:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestAggregatorSnapshotRoundTrip(t *testing.T) {
+	d, ref := ssyncSpec(t, 5, 3)
+	meta, err := d.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := sweep.NewAggregator(meta, false)
+	// Absorb the first 40 patterns, snapshot at the boundary, ship the
+	// snapshot through JSON (as a checkpoint does), restore, finish.
+	cut := 40 * d.Seeds
+	for _, cr := range ref.Cases[:cut] {
+		agg.Absorb(cr)
+	}
+	snap, err := agg.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back sweep.AggState
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := sweep.RestoreAggregator(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Absorbed() != cut {
+		t.Fatalf("restored aggregator absorbed %d, want %d", restored.Absorbed(), cut)
+	}
+	for _, cr := range ref.Cases[cut:] {
+		restored.Absorb(cr)
+	}
+	if got, want := reportJSON(t, restored.Finish()), reportJSON(t, ref); got != want {
+		t.Fatalf("snapshot/restore report differs from engine report:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestAggregatorSnapshotMidPatternFails(t *testing.T) {
+	d, ref := ssyncSpec(t, 5, 3)
+	meta, err := d.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := sweep.NewAggregator(meta, false)
+	for _, cr := range ref.Cases[:4] { // 4 is not a multiple of 3 seeds
+		agg.Absorb(cr)
+	}
+	if _, err := agg.Snapshot(); err == nil {
+		t.Fatal("Snapshot mid-pattern succeeded; want error")
+	}
+}
+
+func TestRestoreAggregatorRejectsInconsistentState(t *testing.T) {
+	d, ref := ssyncSpec(t, 5, 3)
+	meta, err := d.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := sweep.NewAggregator(meta, false)
+	for _, cr := range ref.Cases[:3*d.Seeds] {
+		agg.Absorb(cr)
+	}
+	snap, err := agg.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *snap
+	bad.Absorbed = 7 // not a multiple of Schedules
+	if _, err := sweep.RestoreAggregator(&bad); err == nil {
+		t.Fatal("RestoreAggregator accepted a torn absorbed count")
+	}
+	bad = *snap
+	bad.Robust = bad.Robust[:1]
+	if _, err := sweep.RestoreAggregator(&bad); err == nil {
+		t.Fatal("RestoreAggregator accepted a truncated robustness histogram")
+	}
+}

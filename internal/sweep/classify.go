@@ -2,6 +2,8 @@ package sweep
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/config"
 	"repro/internal/sim"
@@ -36,3 +38,24 @@ func (c Class) String() string {
 
 // MarshalText lets map[Class]int serialize as JSON object keys.
 func (c Class) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText parses the "status/d<diameter>" rendering, the inverse
+// of MarshalText — it makes map[Class]int round-trip through JSON,
+// which the distributed-sweep checkpoint files rely on.
+func (c *Class) UnmarshalText(text []byte) error {
+	s := string(text)
+	i := strings.LastIndex(s, "/d")
+	if i < 0 {
+		return fmt.Errorf("sweep: malformed class %q", s)
+	}
+	status, err := sim.ParseStatus(s[:i])
+	if err != nil {
+		return fmt.Errorf("sweep: malformed class %q: %v", s, err)
+	}
+	d, err := strconv.Atoi(s[i+2:])
+	if err != nil {
+		return fmt.Errorf("sweep: malformed class %q: %v", s, err)
+	}
+	c.Status, c.Diameter = status, d
+	return nil
+}

@@ -362,18 +362,19 @@ func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Repo
 
 	m := len(seeds)
 	patterns := spec.Source.Count()
-	report := &Report{
+	// All aggregation goes through the shared Aggregator — the same
+	// arithmetic the distributed coordinator (internal/dist) replays
+	// over merged worker streams, so sharded reports are bit-identical
+	// to this loop's by construction.
+	agg := NewAggregator(Meta{
 		Algorithm: alg.Name(),
 		Scheduler: schedName,
 		Robots:    spec.N,
 		Source:    spec.Source.Label(),
 		Patterns:  patterns,
 		Schedules: m,
-		Total:     patterns * m,
-		ByStatus:  map[sim.Status]int{},
-		ByClass:   map[Class]int{},
-		Robust:    make([]int, m+1),
-	}
+	}, spec.KeepCases)
+	total := patterns * m
 
 	// Counter snapshots, not absolute values: the store may arrive warm
 	// from an earlier sweep, and the Report describes this sweep only.
@@ -469,16 +470,15 @@ func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Repo
 	// memory stays constant however large the sweep.
 	pending := make(map[int]CaseResult, spec.Workers)
 	next := 0
-	gatheredOfPattern := 0
-	var sumRounds, sumMoves, gathered int
+	peak := 0
 	var verr error
 	for cr := range results {
 		if verr != nil || ctx.Err() != nil {
 			continue // drain so the workers can exit
 		}
 		pending[cr.Index] = cr
-		if len(pending) > report.PeakPending {
-			report.PeakPending = len(pending)
+		if len(pending) > peak {
+			peak = len(pending)
 		}
 		for {
 			r, ok := pending[next]
@@ -488,28 +488,7 @@ func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Repo
 			delete(pending, next)
 			next++
 			<-tokens // return the dispatch-window slot
-			report.ByStatus[r.Status]++
-			if r.Status == sim.Gathered {
-				gathered++
-				gatheredOfPattern++
-				sumRounds += r.Rounds
-				sumMoves += r.Moves
-				if r.Rounds > report.MaxRounds {
-					report.MaxRounds = r.Rounds
-				}
-				if r.Moves > report.MaxMoves {
-					report.MaxMoves = r.Moves
-				}
-			} else {
-				report.ByClass[r.Class]++
-			}
-			if next%m == 0 { // pattern complete: all its schedules delivered
-				report.Robust[gatheredOfPattern]++
-				gatheredOfPattern = 0
-			}
-			if spec.KeepCases {
-				report.Cases = append(report.Cases, r)
-			}
+			agg.Absorb(r)
 			if visit != nil {
 				if err := visit(r); err != nil {
 					verr = err
@@ -518,20 +497,18 @@ func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Repo
 				}
 			}
 			if spec.Progress != nil {
-				spec.Progress(next, report.Total)
+				spec.Progress(next, total)
 			}
 		}
 	}
 	if verr != nil {
 		return nil, verr
 	}
-	if err := ctx.Err(); err != nil && next < report.Total {
+	if err := ctx.Err(); err != nil && next < total {
 		return nil, err
 	}
-	if gathered > 0 {
-		report.MeanRounds = float64(sumRounds) / float64(gathered)
-		report.MeanMoves = float64(sumMoves) / float64(gathered)
-	}
+	report := agg.Finish()
+	report.PeakPending = peak
 	if spec.OutcomeMemo != nil {
 		report.MemoHits = spec.OutcomeMemo.Hits() - baseHits
 		report.MemoMisses = spec.OutcomeMemo.Misses() - baseMisses
