@@ -17,13 +17,18 @@
 //	E14 BenchmarkE14_N8Adversary         — the n = 8 defeasibility map
 //	E15 BenchmarkE15_N9Sweep             — the exact n = 9 FSYNC map
 //	E17 BenchmarkE17_DistOverhead        — distributed-sweep coordination cost
+//	E18 BenchmarkE18_VerdictService      — verdict-service hit path (O(1), 0 allocs)
 //
 // Run all of them with: go test -bench=. -benchmem .
 package repro
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/adversary"
@@ -36,6 +41,7 @@ import (
 	"repro/internal/impossibility"
 	"repro/internal/memo"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/vision"
@@ -444,5 +450,126 @@ func BenchmarkE17_DistOverhead(b *testing.B) {
 		}
 		b.ReportMetric(float64(rep.Gathered()), "gathered")
 		b.ReportMetric(12, "shards")
+	}
+}
+
+// e18Patterns is the verdict-service bench's query mix: table-covered
+// patterns across the n spectrum (east lines for 2 ≤ n ≤ 8 plus the
+// E4-adjacent 7-robot near-goal cluster), parsed once.
+func e18Patterns(b *testing.B) []config.Config {
+	b.Helper()
+	keys := []string{"0,0;1,0;2,0;0,1;1,1;2,1;1,2"}
+	for n := 2; n <= 8; n++ {
+		key := "0,0"
+		for q := 1; q < n; q++ {
+			key += fmt.Sprintf(";%d,0", q)
+		}
+		keys = append(keys, key)
+	}
+	cfgs := make([]config.Config, len(keys))
+	for i, k := range keys {
+		c, err := config.ParseKey(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfgs[i] = c
+	}
+	return cfgs
+}
+
+// BenchmarkE18_VerdictService is the verdict service's hot path (E18):
+// per-pattern verdict queries answered from the generated n ≤ 8 table —
+// one Key128 computation and one map probe per request, no engine runs.
+// allocs/op is the acceptance criterion: the hit path performs zero
+// allocations per request, and the baseline gate (allocs/op over a
+// 0-alloc baseline) fails CI on the first allocation that creeps in.
+// Every answer is source-checked (table, never live) and the 7-robot
+// cluster's verdict is pinned against the table's E2/E12/E13 story.
+func BenchmarkE18_VerdictService(b *testing.B) {
+	svc, err := serve.NewService(serve.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	cfgs := e18Patterns(b)
+	rec, src, err := svc.Verdict(ctx, "", cfgs[0]) // builds the lazy table map
+	if err != nil || src != serve.SourceTable {
+		b.Fatalf("warm query: src=%v err=%v", src, err)
+	}
+	if rec.FSYNCStatus() != sim.Gathered || rec.Robust() != serve.TableSchedules ||
+		rec.Adversary() != serve.AdvSafe {
+		b.Fatalf("pinned 7-robot verdict diverged: %v/%d/%v",
+			rec.FSYNCStatus(), rec.Robust(), rec.Adversary())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, src, err := svc.Verdict(ctx, "", cfgs[i%len(cfgs)]); err != nil || src != serve.SourceTable {
+			b.Fatalf("hit path degraded at %d: src=%v err=%v", i, src, err)
+		}
+	}
+}
+
+// BenchmarkE18_VerdictMiss prices the miss path's steady state: a
+// pattern outside the table (n = 9) served from the single-flight
+// store after its one live solve — the repeat-query cost a client of
+// novel patterns actually pays.
+func BenchmarkE18_VerdictMiss(b *testing.B) {
+	svc, err := serve.NewService(serve.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	cfg, err := config.ParseKey("0,0;1,0;2,0;3,0;4,0;5,0;6,0;7,0;8,0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, src, err := svc.Verdict(ctx, "", cfg); err != nil || src != serve.SourceSolved {
+		b.Fatalf("first query: src=%v err=%v", src, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, src, err := svc.Verdict(ctx, "", cfg); err != nil || src != serve.SourceCached {
+			b.Fatalf("repeat query at %d: src=%v err=%v", i, src, err)
+		}
+	}
+	b.StopTimer()
+	if got := svc.SolveCount(""); got != 1 {
+		b.Fatalf("%d solves for one pattern, want 1", got)
+	}
+}
+
+// BenchmarkE18_VerdictHTTP is the end-to-end request cost: the same
+// table-hit query through cmd/verdictd's HTTP front-end (parse, serve,
+// JSON encode, transport over loopback). The delta against
+// BenchmarkE18_VerdictService is pure transport — the service layer
+// itself stays allocation-free.
+func BenchmarkE18_VerdictHTTP(b *testing.B) {
+	svc, err := serve.NewService(serve.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	url := ts.URL + "/verdict?key=0,0:1,0:2,0:0,1:1,1:2,1:1,2"
+	fetch := func() int {
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := fetch(); code != 200 {
+		b.Fatalf("warm request: status %d", code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if code := fetch(); code != 200 {
+			b.Fatalf("status %d at %d", code, i)
+		}
 	}
 }

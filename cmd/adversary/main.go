@@ -59,7 +59,7 @@ import (
 	"sort"
 
 	"repro/internal/adversary"
-	"repro/internal/core"
+	"repro/internal/cliflags"
 	"repro/internal/sweep"
 )
 
@@ -81,8 +81,10 @@ type verdictLine struct {
 }
 
 func main() {
-	algName := flag.String("alg", "full", "algorithm under attack (full, no-table, no-reconstruction, paper, three, idle, greedy)")
-	n := flag.Int("n", 7, "robot count: decide every connected n-robot pattern")
+	// -alg and -n are the shared cliflags vocabulary (the adversary has
+	// no scheduler axis: it is universally quantified over schedules).
+	shared := cliflags.Register(flag.CommandLine, cliflags.FlagAlg|cliflags.FlagN)
+	n := shared.N
 	workers := flag.Int("workers", 1, "parallel decision workers over the shared solver memo (0 = GOMAXPROCS, 1 = sequential)")
 	heuristicsOnly := flag.Bool("heuristics-only", false, "skip the exact solver (cheap pre-filter pass only)")
 	noHeuristics := flag.Bool("no-heuristics", false, "skip the heuristic pre-filters (exact solver only)")
@@ -99,7 +101,7 @@ func main() {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 
-	alg, err := core.ByName(*algName)
+	alg, err := shared.Algorithm()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "adversary: %v\n", err)
 		os.Exit(2)

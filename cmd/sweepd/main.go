@@ -45,6 +45,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/dist"
 	"repro/internal/sweep"
 )
@@ -152,12 +153,9 @@ func (o *orch) options() (dist.Options, error) {
 
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("sweepd run", flag.ExitOnError)
-	algName := fs.String("alg", "full", "algorithm (full, no-table, no-reconstruction, paper, three, idle, greedy)")
-	n := fs.Int("n", 7, "robot count: sweep every connected n-robot pattern")
-	visRange := fs.Int("range", 1, "connectivity relaxation: sweep visibility-R-connected patterns")
-	schedName := fs.String("sched", "fsync", "scheduler: fsync, ssync, cent (the adversary solver is not distributable yet)")
-	seeds := fs.Int("seeds", 1, "activation schedules per pattern (seeds 1..M)")
-	maxRounds := fs.Int("max-rounds", 0, "round budget per run (0 = default)")
+	// Shared sweep vocabulary (cliflags); SpecDesc.Validate rejects
+	// -sched adv, which is not distributable yet.
+	shared := cliflags.Register(fs, cliflags.SweepSet)
 	o := orchFlags(fs)
 	fs.Parse(args)
 	if fs.NArg() > 0 {
@@ -169,7 +167,7 @@ func cmdRun(args []string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	opts.Spec = sweep.SpecDesc{N: *n, Alg: *algName, Sched: *schedName, Seeds: *seeds, VisRange: *visRange, MaxRounds: *maxRounds}
+	opts.Spec = shared.Desc()
 	report, err := dist.Run(context.Background(), opts)
 	emit(report, err, o)
 }

@@ -74,6 +74,7 @@ import (
 	"sort"
 
 	"repro/internal/adversary"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/memo"
@@ -83,12 +84,12 @@ import (
 )
 
 func main() {
-	algName := flag.String("alg", "full", "algorithm (full, no-table, no-reconstruction, paper, three, idle, greedy)")
-	n := flag.Int("n", 7, "robot count: sweep every connected n-robot pattern")
-	visRange := flag.Int("range", 1, "connectivity relaxation: sweep visibility-R-connected patterns (1 = adjacency, the paper's space)")
-	schedName := flag.String("sched", "fsync", "scheduler: fsync, ssync, cent, adv (exact adversarial decision)")
-	seeds := flag.Int("seeds", 1, "activation schedules per pattern (ssync robustness axis; seeds 1..M)")
-	maxRounds := flag.Int("max-rounds", 0, "round budget per run (0 = default)")
+	// The sweep-shaping flags are the shared cliflags vocabulary; the
+	// locals below alias the registered pointers so the body reads as
+	// before.
+	shared := cliflags.Register(flag.CommandLine, cliflags.SweepSet)
+	n, visRange := shared.N, shared.VisRange
+	schedName, seeds, maxRounds := shared.Sched, shared.Seeds, shared.MaxRounds
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS; with -sched adv, 0 = the sequential solver, which keeps solver_states deterministic)")
 	memoOn := flag.Bool("memo", true, "share one configuration→outcome store across the sweep (bit-identical reports; ignored by -sched adv)")
 	stats := flag.Bool("stats", false, "print rounds histogram and per-diameter table")
@@ -147,7 +148,7 @@ Flags:
 	}
 	flag.Parse()
 
-	alg, err := core.ByName(*algName)
+	alg, err := shared.Algorithm()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
 		os.Exit(2)
@@ -178,8 +179,7 @@ Flags:
 			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
 			os.Exit(2)
 		}
-		desc := sweep.SpecDesc{N: *n, Alg: *algName, Sched: *schedName, Seeds: *seeds, VisRange: *visRange, MaxRounds: *maxRounds}
-		if err := dist.RunShard(context.Background(), desc, shard, os.Stdout, nil); err != nil {
+		if err := dist.RunShard(context.Background(), shared.Desc(), shard, os.Stdout, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
 			os.Exit(2)
 		}
@@ -270,9 +270,8 @@ Flags:
 		if spec.Source == nil {
 			spec.Source = sweep.Connected(*n) // the Stream default, materialized for the header's range
 		}
-		desc := sweep.SpecDesc{N: *n, Alg: *algName, Sched: *schedName, Seeds: *seeds, VisRange: *visRange, MaxRounds: *maxRounds}
 		full := sweep.Range{Lo: 0, Hi: spec.Source.Count()}
-		if err := enc.Encode(dist.Header{Schema: dist.SchemaVersion, Spec: desc.Digest(), Shard: full}); err != nil {
+		if err := enc.Encode(dist.Header{Schema: dist.SchemaVersion, Spec: shared.Desc().Digest(), Shard: full}); err != nil {
 			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
 			os.Exit(2)
 		}

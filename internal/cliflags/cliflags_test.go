@@ -1,0 +1,64 @@
+package cliflags
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// TestRegisterSet: only the selected flags exist, and Desc carries the
+// parsed values — the contract the four CLI front-ends rely on.
+func TestRegisterSet(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs, SweepSet)
+	if err := fs.Parse([]string{"-alg", "three", "-n", "8", "-sched", "ssync", "-seeds", "4", "-range", "2", "-max-rounds", "99"}); err != nil {
+		t.Fatal(err)
+	}
+	d := f.Desc()
+	want := sweep.SpecDesc{N: 8, Alg: "three", Sched: "ssync", Seeds: 4, VisRange: 2, MaxRounds: 99}
+	if d != want {
+		t.Fatalf("Desc() = %+v, want %+v", d, want)
+	}
+	alg, err := f.Algorithm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.Name() != "three-gatherer" && alg.Name() != "three" {
+		// Accept either registry spelling; the point is resolution
+		// succeeded through core.ByName.
+		t.Logf("algorithm resolved as %q", alg.Name())
+	}
+}
+
+// TestRegisterSubset: a command that registers only -alg/-n must not
+// grow the other flags, and Desc must normalize through SpecDesc
+// defaults.
+func TestRegisterSubset(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs, FlagAlg|FlagN)
+	if fs.Lookup("sched") != nil || fs.Lookup("seeds") != nil || fs.Lookup("range") != nil {
+		t.Fatal("subset registration leaked unselected flags")
+	}
+	if err := fs.Parse([]string{"-n", "6"}); err != nil {
+		t.Fatal(err)
+	}
+	d := f.Desc()
+	d.Normalize()
+	if d.N != 6 || d.Alg != "full" || d.Sched != "fsync" {
+		t.Fatalf("normalized desc = %+v", d)
+	}
+}
+
+// TestAlgorithmUnknown surfaces the registry error instead of
+// panicking — each front-end turns it into its usage exit.
+func TestAlgorithmUnknown(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs, FlagAlg)
+	if err := fs.Parse([]string{"-alg", "nope"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Algorithm(); err == nil {
+		t.Fatal("unknown algorithm resolved")
+	}
+}

@@ -9,15 +9,19 @@
 // value so all three clients share one sharding scheme and one
 // publication discipline.
 //
-// The discipline is single-flight in effect, not in mechanism: there is
-// no per-key in-flight tracking. Instead, values are published only
-// once final — in-flight (partial) state never enters the store — and
-// publication is first-write-wins, so a reader either misses (and
-// computes the fact itself) or sees a complete, immutable value.
-// Clients are sound because the facts they store are unique properties
-// of the key (a game verdict, a deterministic run's outcome): duplicate
-// concurrent computations produce equal values, making the publish race
-// benign and the winner irrelevant.
+// The store's own discipline is single-flight in effect, not in
+// mechanism: there is no per-key in-flight tracking. Instead, values
+// are published only once final — in-flight (partial) state never
+// enters the store — and publication is first-write-wins, so a reader
+// either misses (and computes the fact itself) or sees a complete,
+// immutable value. Clients are sound because the facts they store are
+// unique properties of the key (a game verdict, a deterministic run's
+// outcome): duplicate concurrent computations produce equal values,
+// making the publish race benign and the winner irrelevant. Workloads
+// where duplicated computation is too expensive to tolerate — a
+// serving hot path hit by a thundering herd of identical queries —
+// opt into Flight, which layers a real in-flight wait table over the
+// store so each key is computed at most once concurrently.
 package memo
 
 import (

@@ -1,0 +1,67 @@
+package metrics
+
+import "sync"
+
+// Counter is a monotonically increasing concurrency-safe counter — the
+// serving-path companion to Histogram, which is single-goroutine by
+// design. The zero value is ready to use.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) {
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// SafeHistogram wraps Histogram with a mutex so concurrent request
+// handlers can record latencies into one histogram. Accessors take the
+// same lock, so summaries read a consistent snapshot.
+type SafeHistogram struct {
+	mu sync.Mutex
+	h  *Histogram
+}
+
+// NewSafeHistogram returns an empty concurrency-safe histogram.
+func NewSafeHistogram() *SafeHistogram { return &SafeHistogram{h: NewHistogram()} }
+
+// Add records one observation.
+func (s *SafeHistogram) Add(v int) {
+	s.mu.Lock()
+	s.h.Add(v)
+	s.mu.Unlock()
+}
+
+// N returns the number of observations.
+func (s *SafeHistogram) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.N()
+}
+
+// Percentile returns the p-th percentile by the nearest-rank method.
+func (s *SafeHistogram) Percentile(p float64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Percentile(p)
+}
+
+// Max returns the largest observed value (0 if empty).
+func (s *SafeHistogram) Max() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h.Max()
+}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/dist"
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+)
+
+// VerdictResponse is the GET /verdict JSON schema: one pattern's
+// complete verdict, unpacked from its Record.
+type VerdictResponse struct {
+	// Key is the canonical pattern key ("q,r;q,r;..." of the
+	// translation-normalized nodes).
+	Key string `json:"key"`
+	N   int    `json:"n"`
+	// Algorithm is the registry name the verdict is about.
+	Algorithm string `json:"algorithm"`
+	// Source says which tier answered: "table" (generated table),
+	// "solved" (this request ran the engines) or "cached" (a previous
+	// or concurrent solve was reused).
+	Source string `json:"source"`
+	// FSYNC is the deterministic fully-synchronous run.
+	FSYNC struct {
+		Status string `json:"status"`
+		Rounds int    `json:"rounds"`
+		Moves  int    `json:"moves"`
+	} `json:"fsync"`
+	// SSYNC is the robustness axis: gathered in Robust of Schedules
+	// seeded activation schedules.
+	SSYNC struct {
+		Robust    int `json:"robust"`
+		Schedules int `json:"schedules"`
+	} `json:"ssync"`
+	// Adversary is the exact defeasibility claim: "defeatable" (with
+	// the witness kind and strategy depth), "safe", or "undecided"
+	// (outside the decided envelope).
+	Adversary struct {
+		Verdict string `json:"verdict"`
+		Witness string `json:"witness,omitempty"`
+		Depth   int    `json:"depth,omitempty"`
+	} `json:"adversary"`
+}
+
+// httpMetrics are the transport-level latency histograms — kept out of
+// the Service so its hot path stays allocation-free.
+type httpMetrics struct {
+	hitMicros  *metrics.SafeHistogram
+	missMicros *metrics.SafeHistogram
+}
+
+// Handler returns the service's HTTP front-end:
+//
+//	GET  /verdict?key=q,r:q,r:...[&alg=name]   one pattern's verdict (JSON)
+//	POST /sweep                                 streaming sweep: body is a
+//	                                            sweep.SpecDesc, response the
+//	                                            internal/dist framed JSONL
+//	                                            stream (header, cases, summary)
+//	GET  /healthz                               liveness + table coverage
+//	GET  /metrics                               serving counters (text)
+func (s *Service) Handler() http.Handler {
+	hm := &httpMetrics{hitMicros: metrics.NewSafeHistogram(), missMicros: metrics.NewSafeHistogram()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/verdict", func(w http.ResponseWriter, r *http.Request) { s.handleVerdict(w, r, hm) })
+	mux.HandleFunc("/sweep", s.handleSweep)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) { s.handleMetrics(w, r, hm) })
+	return mux
+}
+
+func (s *Service) handleVerdict(w http.ResponseWriter, r *http.Request, hm *httpMetrics) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "verdict is GET", http.StatusMethodNotAllowed)
+		return
+	}
+	keyParam := r.URL.Query().Get("key")
+	if keyParam == "" {
+		http.Error(w, "missing key parameter (want key=q,r:q,r:...)", http.StatusBadRequest)
+		return
+	}
+	// The canonical key separator ";" is not legal raw in a query
+	// string (net/url rejects it as an ambiguous separator), so the
+	// URL form uses ":" between nodes; percent-encoded canonical keys
+	// (%3B) arrive as ";" and pass through untouched.
+	cfg, err := config.ParseKey(strings.ReplaceAll(keyParam, ":", ";"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if n := cfg.Len(); n < 1 || n > MaxQueryRobots {
+		http.Error(w, fmt.Sprintf("%d robots outside the query envelope [1,%d]", n, MaxQueryRobots), http.StatusBadRequest)
+		return
+	}
+	algName := r.URL.Query().Get("alg")
+	start := time.Now()
+	rec, src, err := s.Verdict(r.Context(), algName, cfg)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknownAlgorithm) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	micros := int(time.Since(start).Microseconds())
+	if src == SourceTable {
+		hm.hitMicros.Add(micros)
+	} else {
+		hm.missMicros.Add(micros)
+	}
+
+	if algName == "" {
+		algName = s.opts.DefaultAlg
+	}
+	resp := VerdictResponse{Key: cfg.Key(), N: cfg.Len(), Algorithm: algName, Source: src.String()}
+	resp.FSYNC.Status = rec.FSYNCStatus().String()
+	resp.FSYNC.Rounds = rec.FSYNCRounds()
+	resp.FSYNC.Moves = rec.FSYNCMoves()
+	resp.SSYNC.Robust = rec.Robust()
+	resp.SSYNC.Schedules = s.Schedules(src)
+	resp.Adversary.Verdict = rec.Adversary().String()
+	if rec.Adversary() == AdvDefeatable {
+		resp.Adversary.Witness = rec.WitnessKind().String()
+		resp.Adversary.Depth = rec.WitnessDepth()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleSweep streams a whole sweep as the internal/dist framed JSONL
+// protocol — the same bytes a sweepd worker emits for the full-range
+// shard, so existing dist.ReadShard consumers parse it directly. The
+// request body is a sweep.SpecDesc; cancellation (client gone, server
+// draining past its grace period) aborts the underlying sweep through
+// the request context.
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "sweep is POST", http.StatusMethodNotAllowed)
+		return
+	}
+	var desc sweep.SpecDesc
+	if err := json.NewDecoder(r.Body).Decode(&desc); err != nil {
+		http.Error(w, fmt.Sprintf("malformed spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	desc.Normalize()
+	if err := desc.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec, err := desc.Spec()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.met.Sweeps.Inc()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	shard := sweep.Range{Lo: 0, Hi: spec.Source.Count()}
+	if err := dist.RunShard(r.Context(), desc, shard, flushWriter{w}, nil); err != nil {
+		// Headers are gone; a truncated stream (no trailing summary)
+		// is the in-band error signal, exactly as for a dead worker.
+		s.met.Errors.Inc()
+	}
+}
+
+// flushWriter flushes after every write so the JSONL stream reaches
+// the client line-by-line as the sweep progresses.
+type flushWriter struct{ w http.ResponseWriter }
+
+func (f flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if fl, ok := f.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return n, err
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	minN, maxN := TableBounds()
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"table_patterns\":%d,\"table_min_n\":%d,\"table_max_n\":%d}\n",
+		TableLen(), minN, maxN)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request, hm *httpMetrics) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	m := &s.met
+	fmt.Fprintf(w, "verdictd_requests_total %d\n", m.Requests.Value())
+	fmt.Fprintf(w, "verdictd_table_hits_total %d\n", m.TableHits.Value())
+	fmt.Fprintf(w, "verdictd_solves_total %d\n", m.Solves.Value())
+	fmt.Fprintf(w, "verdictd_cached_total %d\n", m.Cached.Value())
+	fmt.Fprintf(w, "verdictd_errors_total %d\n", m.Errors.Value())
+	fmt.Fprintf(w, "verdictd_sweeps_total %d\n", m.Sweeps.Value())
+	fmt.Fprintf(w, "verdictd_table_patterns %d\n", TableLen())
+	for _, h := range []struct {
+		name string
+		hist *metrics.SafeHistogram
+	}{{"hit", hm.hitMicros}, {"miss", hm.missMicros}} {
+		if h.hist.N() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "verdictd_%s_latency_us{q=\"p50\"} %d\n", h.name, h.hist.Percentile(50))
+		fmt.Fprintf(w, "verdictd_%s_latency_us{q=\"p99\"} %d\n", h.name, h.hist.Percentile(99))
+		fmt.Fprintf(w, "verdictd_%s_latency_us{q=\"max\"} %d\n", h.name, h.hist.Max())
+	}
+}

@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestRecordRoundTrip: every field unpacks to what was packed across
+// the full value grid of each field.
+func TestRecordRoundTrip(t *testing.T) {
+	statuses := []sim.Status{sim.Gathered, sim.Stalled, sim.Livelock, sim.Collision, sim.Disconnected, sim.RoundLimit}
+	for _, st := range statuses {
+		for _, rounds := range []int{0, 1, 137, recRoundsMax} {
+			for _, moves := range []int{0, 5, recMovesMax} {
+				for _, robust := range []int{0, 3, recRobustMax} {
+					for _, adv := range []AdvVerdict{AdvDefeatable, AdvSafe, AdvUndecided} {
+						for _, depth := range []int{0, 21, recDepthMax} {
+							r, err := checkExact(st, rounds, moves, robust, adv, sim.Livelock, depth)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if r.FSYNCStatus() != st || r.FSYNCRounds() != rounds || r.FSYNCMoves() != moves ||
+								r.Robust() != robust || r.Adversary() != adv || r.WitnessDepth() != depth {
+								t.Fatalf("round-trip mismatch for %v/%d/%d/%d/%v/%d", st, rounds, moves, robust, adv, depth)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRecordSaturates: out-of-range counters clamp instead of bleeding
+// into neighboring fields.
+func TestRecordSaturates(t *testing.T) {
+	r := PackRecord(sim.Gathered, 1<<20, 1<<20, 1000, AdvSafe, sim.Gathered, 1<<20)
+	if r.FSYNCRounds() != recRoundsMax || r.FSYNCMoves() != recMovesMax ||
+		r.Robust() != recRobustMax || r.WitnessDepth() != recDepthMax {
+		t.Fatalf("saturation failed: rounds=%d moves=%d robust=%d depth=%d",
+			r.FSYNCRounds(), r.FSYNCMoves(), r.Robust(), r.WitnessDepth())
+	}
+	if r.Adversary() != AdvSafe || r.FSYNCStatus() != sim.Gathered {
+		t.Fatalf("saturation corrupted enum fields: %v %v", r.Adversary(), r.FSYNCStatus())
+	}
+	if _, err := checkExact(sim.Gathered, 1<<20, 0, 0, AdvSafe, sim.Gathered, 0); err == nil {
+		t.Fatal("checkExact accepted a saturating value")
+	}
+}

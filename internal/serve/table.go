@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/config"
+)
+
+// verdictEntry is one row of the generated table: a pattern's exact
+// translation-invariant Key128 and its packed Record. The generated
+// file (verdict_table_gen.go) keeps rows as a flat slice — ordered by
+// robot count ascending, then enumeration order within each n — so the
+// table is diffable, byte-reproducible, and indexable by n through
+// verdictTableOffsets; the serving map is built from it once on first
+// lookup.
+type verdictEntry struct {
+	Hi, Lo, R uint64
+}
+
+// TableSchedules is the robustness axis length of every table entry:
+// each pattern's Record counts gathered schedules among SSYNC seeds
+// 1..TableSchedules (the sweep.SeedRange convention, a prefix of the
+// E12 seed set).
+const TableSchedules = 8
+
+var (
+	tableOnce sync.Once
+	tableMap  map[config.Key128]Record
+)
+
+func tableInit() {
+	tableMap = make(map[config.Key128]Record, len(verdictTableSeed))
+	for _, e := range verdictTableSeed {
+		tableMap[config.Key128{Hi: e.Hi, Lo: e.Lo}] = Record(e.R)
+	}
+}
+
+// TableLookup returns the precomputed verdict for the pattern with the
+// given exact Key128, if the table covers it. O(1), allocation-free
+// after the one-time map build.
+func TableLookup(k config.Key128) (Record, bool) {
+	tableOnce.Do(tableInit)
+	r, ok := tableMap[k]
+	return r, ok
+}
+
+// TableLen returns the number of patterns the table covers.
+func TableLen() int { return len(verdictTableSeed) }
+
+// TableBounds returns the inclusive robot-count range the table covers.
+func TableBounds() (minN, maxN int) { return verdictTableMinN, verdictTableMaxN }
+
+// TableRange returns the half-open index range [lo, hi) of the n-robot
+// entries in table order; ok is false when the table does not cover n.
+func TableRange(n int) (lo, hi int, ok bool) {
+	if n < verdictTableMinN || n > verdictTableMaxN {
+		return 0, 0, false
+	}
+	i := n - verdictTableMinN
+	return verdictTableOffsets[i], verdictTableOffsets[i+1], true
+}
+
+// TableEntry returns table row i (in the generated order: n ascending,
+// enumeration order within n).
+func TableEntry(i int) (config.Key128, Record) {
+	e := verdictTableSeed[i]
+	return config.Key128{Hi: e.Hi, Lo: e.Lo}, Record(e.R)
+}
