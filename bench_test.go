@@ -294,7 +294,7 @@ func BenchmarkE11_N8Sweep(b *testing.B) {
 		b.ReportMetric(float64(rep.ByStatus[sim.Livelock]), "livelock")
 		b.ReportMetric(float64(rep.ByStatus[sim.Collision]), "collisions")
 		b.ReportMetric(float64(rep.ByStatus[sim.Disconnected]), "disconnected")
-		b.ReportMetric(float64(rep.MemoHits), "memo-hits")
+		b.ReportMetric(float64(rep.Memo.Hits), "memo-hits")
 	}
 }
 
@@ -331,7 +331,7 @@ func BenchmarkE15_N9Sweep(b *testing.B) {
 		b.ReportMetric(float64(rep.ByStatus[sim.Stalled]), "stalled")
 		b.ReportMetric(float64(rep.ByStatus[sim.Livelock]), "livelock")
 		b.ReportMetric(float64(rep.MaxRounds), "max-rounds")
-		b.ReportMetric(float64(rep.StatesCreated), "states")
+		b.ReportMetric(float64(rep.Memo.Created), "states")
 	}
 }
 

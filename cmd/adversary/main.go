@@ -175,9 +175,9 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "; game states %d, max strategy depth %d; every witness replay confirmed non-gathering\n",
 		report.SolverStates, report.MaxWitnessDepth)
-	if report.MemoHits+report.MemoMisses > 0 {
+	if report.Memo.Lookups() > 0 {
 		fmt.Fprintf(os.Stderr, "adversary: memo: %d hits / %d misses, %d states created (shared across patterns)\n",
-			report.MemoHits, report.MemoMisses, report.StatesCreated)
+			report.Memo.Hits, report.Memo.Misses, report.Memo.Created)
 	}
 	methods := make([]string, 0, len(report.ByMethod))
 	for m := range report.ByMethod {

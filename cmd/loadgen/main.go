@@ -1,0 +1,276 @@
+// loadgen is the closed-loop latency harness for a live verdictd: K
+// concurrent clients each issue the next GET /verdict the moment the
+// previous one completes, replaying a mixed trace of table-covered
+// ("hit") and table-missing ("miss") patterns. After a warmup period
+// the harness records per-request latency for a fixed measurement
+// window, classifies each response by its reported source (table →
+// hit path; solved/cached → miss path), and prints a JSON report with
+// p50/p95/p99/max per path. With -p99-hit / -p99-miss set, the run
+// doubles as a regression gate: exit status 1 when a measured p99
+// exceeds its threshold (the CI E19 gate), 2 on request errors or an
+// empty measurement window.
+//
+//	loadgen -addr localhost:8080 [flags]
+//
+//	-addr string        verdictd host:port (required)
+//	-clients int        concurrent closed-loop clients (default 8)
+//	-warmup duration    discard window before measuring (default 2s)
+//	-duration duration  measurement window (default 5s)
+//	-hit-frac float     fraction of requests on the hit path (default 0.9)
+//	-hit-n int          robot count for hit keys, must be table-covered (default 6)
+//	-miss-n int         robot count for miss keys, past the table (default 9)
+//	-p99-hit duration   hit-path p99 gate, 0 disables (default 0)
+//	-p99-miss duration  miss-path p99 gate, 0 disables (default 0)
+//
+// Hit keys are drawn from the real enumeration (enumerate.Connected)
+// so they exercise exactly the table's key distribution; miss keys are
+// a deterministic family of n-robot L-shapes (horizontal arm a,
+// vertical arm n-a), connected by construction and outside the table's
+// n range, so the miss path's single-flight and verdict store see a
+// small, stable working set: first touch solves, repeats serve cached.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/enumerate"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+)
+
+// maxHitKeys bounds the hit-path working set: enough keys that the
+// trace is not a single cache line, few enough that enumeration cost
+// and client memory stay trivial at any -hit-n.
+const maxHitKeys = 512
+
+func main() {
+	addr := flag.String("addr", "", "verdictd host:port (required)")
+	clients := flag.Int("clients", 8, "concurrent closed-loop clients")
+	warmup := flag.Duration("warmup", 2*time.Second, "discard window before measuring")
+	duration := flag.Duration("duration", 5*time.Second, "measurement window")
+	hitFrac := flag.Float64("hit-frac", 0.9, "fraction of requests on the hit path")
+	hitN := flag.Int("hit-n", 6, "robot count for hit keys (must be table-covered)")
+	missN := flag.Int("miss-n", 9, "robot count for miss keys (must be past the table)")
+	p99Hit := flag.Duration("p99-hit", 0, "hit-path p99 gate (0 disables)")
+	p99Miss := flag.Duration("p99-miss", 0, "miss-path p99 gate (0 disables)")
+	flag.Parse()
+	if *addr == "" || *clients < 1 || *hitFrac < 0 || *hitFrac > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	hitKeys := hitTrace(*hitN)
+	missKeys := missTrace(*missN)
+	base := "http://" + *addr + "/verdict?key="
+
+	var (
+		hits, misses pathStats
+		errs         atomic.Int64
+		total        atomic.Int64
+		measuring    atomic.Bool
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	client := &http.Client{Timeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Per-client deterministic trace: reruns replay the same
+			// request mix, so gate flakiness is load, not luck.
+			rng := rand.New(rand.NewSource(int64(id) + 1))
+			for ctx.Err() == nil {
+				var key string
+				if rng.Float64() < *hitFrac {
+					key = hitKeys[rng.Intn(len(hitKeys))]
+				} else {
+					key = missKeys[rng.Intn(len(missKeys))]
+				}
+				start := time.Now()
+				src, err := issue(ctx, client, base+url.QueryEscape(key))
+				lat := time.Since(start).Microseconds()
+				if ctx.Err() != nil {
+					return // cancellation mid-request is shutdown, not an error
+				}
+				if !measuring.Load() {
+					continue
+				}
+				total.Add(1)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if src == "table" {
+					hits.observe(lat)
+				} else {
+					misses.observe(lat)
+				}
+			}
+		}(c)
+	}
+	time.Sleep(*warmup)
+	measuring.Store(true)
+	wallStart := time.Now()
+	time.Sleep(*duration)
+	measuring.Store(false)
+	wall := time.Since(wallStart)
+	cancel()
+	wg.Wait()
+
+	rep := report{
+		Addr:     *addr,
+		Clients:  *clients,
+		WarmupS:  warmup.Seconds(),
+		WindowS:  wall.Seconds(),
+		HitFrac:  *hitFrac,
+		Requests: total.Load(),
+		Errors:   errs.Load(),
+		RPS:      float64(total.Load()) / wall.Seconds(),
+		Hit:      hits.summary(),
+		Miss:     misses.summary(),
+	}
+	rep.Gate.P99HitUS = p99Hit.Microseconds()
+	rep.Gate.P99MissUS = p99Miss.Microseconds()
+	rep.Gate.Pass = (*p99Hit == 0 || rep.Hit.P99US <= p99Hit.Microseconds()) &&
+		(*p99Miss == 0 || rep.Miss.P99US <= p99Miss.Microseconds())
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+	switch {
+	case rep.Errors > 0 || rep.Requests == 0 || rep.Hit.Count == 0:
+		fmt.Fprintf(os.Stderr, "loadgen: %d errors over %d requests (%d on the hit path)\n",
+			rep.Errors, rep.Requests, rep.Hit.Count)
+		os.Exit(2)
+	case !rep.Gate.Pass:
+		fmt.Fprintf(os.Stderr, "loadgen: p99 gate breached (hit %dus vs %dus, miss %dus vs %dus)\n",
+			rep.Hit.P99US, rep.Gate.P99HitUS, rep.Miss.P99US, rep.Gate.P99MissUS)
+		os.Exit(1)
+	}
+}
+
+// issue runs one GET and returns the verdict's reported source tier.
+func issue(ctx context.Context, client *http.Client, u string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return "", fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var v struct {
+		Source string `json:"source"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return "", err
+	}
+	return v.Source, nil
+}
+
+// hitTrace samples up to maxHitKeys URL-form keys evenly across the
+// real n-robot enumeration — the table's own key distribution.
+func hitTrace(n int) []string {
+	all := enumerate.Connected(n)
+	if len(all) == 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: no connected patterns at n=%d\n", n)
+		os.Exit(2)
+	}
+	stride := 1
+	if len(all) > maxHitKeys {
+		stride = len(all) / maxHitKeys
+	}
+	var keys []string
+	for i := 0; i < len(all); i += stride {
+		keys = append(keys, urlKey(all[i]))
+	}
+	return keys
+}
+
+// missTrace builds the deterministic n-robot L-shape family: for each
+// horizontal arm length a in [1, n-1], robots at (0..a-1, 0) plus
+// (a-1, 1..n-a). Every member is connected and, for n past the table
+// bound, guaranteed off the hot path.
+func missTrace(n int) []string {
+	var keys []string
+	for a := 1; a < n; a++ {
+		var nodes []grid.Coord
+		for q := 0; q < a; q++ {
+			nodes = append(nodes, grid.Coord{Q: q, R: 0})
+		}
+		for r := 1; r <= n-a; r++ {
+			nodes = append(nodes, grid.Coord{Q: a - 1, R: r})
+		}
+		keys = append(keys, urlKey(config.New(nodes...)))
+	}
+	return keys
+}
+
+// urlKey renders a config's canonical key in the /verdict query form
+// (":" between nodes; see the handler's separator note).
+func urlKey(c config.Config) string {
+	return strings.ReplaceAll(c.Key(), ";", ":")
+}
+
+// pathStats is one path's latency accounting, on the same quantile
+// sketch the daemons expose — the harness and the server agree on
+// error bounds by construction.
+type pathStats struct {
+	hist metrics.QuantileHist
+}
+
+func (p *pathStats) observe(us int64) { p.hist.Observe(us) }
+
+func (p *pathStats) summary() pathSummary {
+	return pathSummary{
+		Count: p.hist.N(),
+		P50US: p.hist.Quantile(0.50),
+		P95US: p.hist.Quantile(0.95),
+		P99US: p.hist.Quantile(0.99),
+		MaxUS: p.hist.Max(),
+	}
+}
+
+type pathSummary struct {
+	Count int64 `json:"count"`
+	P50US int64 `json:"p50_us"`
+	P95US int64 `json:"p95_us"`
+	P99US int64 `json:"p99_us"`
+	MaxUS int64 `json:"max_us"`
+}
+
+type report struct {
+	Addr     string      `json:"addr"`
+	Clients  int         `json:"clients"`
+	WarmupS  float64     `json:"warmup_s"`
+	WindowS  float64     `json:"window_s"`
+	HitFrac  float64     `json:"hit_frac"`
+	Requests int64       `json:"requests"`
+	Errors   int64       `json:"errors"`
+	RPS      float64     `json:"rps"`
+	Hit      pathSummary `json:"hit"`
+	Miss     pathSummary `json:"miss"`
+	Gate     struct {
+		P99HitUS  int64 `json:"p99_hit_us"`
+		P99MissUS int64 `json:"p99_miss_us"`
+		Pass      bool  `json:"pass"`
+	} `json:"gate"`
+}

@@ -11,9 +11,14 @@
 // The sweep flags of `run` mirror cmd/verify (-n, -alg, -sched,
 // -seeds, -range, -max-rounds); the orchestration flags size and
 // harden the run (-shards, -workers, -retries, -backoff, -checkpoint).
-// With -checkpoint the coordinator persists (completed shards, partial
-// aggregate) atomically after every absorbed shard, so a preempted
-// multi-hour run restarts where it stopped via `sweepd resume`; a
+// With -progress the coordinator refreshes a stderr line per absorbed
+// shard (shards, patterns, throughput, retries, ETA); with
+// -metrics-addr it serves its fleet-wide metrics registry and pprof
+// over HTTP while the run is live, and `sweepd serve -pprof` gives a
+// worker the same sidecar. With -checkpoint the coordinator persists
+// (completed shards, partial aggregate) atomically after every
+// absorbed shard, so a preempted multi-hour run restarts where it
+// stopped via `sweepd resume`; a
 // worker killed mid-shard is detected by stream truncation and its
 // shard is re-queued with bounded retry and exponential backoff —
 // shards merge atomically only after their trailing summary verifies,
@@ -24,10 +29,11 @@
 //	sweepd run [-alg full|...] [-n 7] [-range 1] [-sched fsync|ssync|cent]
 //	           [-seeds 1] [-max-rounds N] [-shards S] [-workers W]
 //	           [-retries R] [-backoff D] [-checkpoint F] [-backend proc|inproc]
-//	           [-json] [-progress] [-allow-failures]
+//	           [-json] [-progress] [-allow-failures] [-metrics-addr A]
 //	sweepd resume -checkpoint F [-workers W] [-retries R] [-backoff D]
 //	           [-backend proc|inproc] [-json] [-progress] [-allow-failures]
-//	sweepd serve
+//	           [-metrics-addr A]
+//	sweepd serve [-pprof A]
 //
 // Exit status mirrors cmd/verify: 0 when every run gathered or
 // -allow-failures was given, 1 when the sweep completed with
@@ -42,11 +48,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"repro/internal/cliflags"
 	"repro/internal/dist"
+	"repro/internal/metrics"
 	"repro/internal/sweep"
 )
 
@@ -95,15 +105,16 @@ Run 'sweepd <command> -h' for the command's flags.
 // orchFlags registers the orchestration flags shared by run and
 // resume on fs, returning pointers bundled for buildOptions.
 type orch struct {
-	shards     *int
-	workers    *int
-	retries    *int
-	backoff    *time.Duration
-	checkpoint *string
-	backend    *string
-	jsonOut    *bool
-	progress   *bool
-	allowFail  *bool
+	shards      *int
+	workers     *int
+	retries     *int
+	backoff     *time.Duration
+	checkpoint  *string
+	backend     *string
+	jsonOut     *bool
+	progress    *bool
+	allowFail   *bool
+	metricsAddr *string
 }
 
 func orchFlags(fs *flag.FlagSet) *orch {
@@ -117,6 +128,8 @@ func orchFlags(fs *flag.FlagSet) *orch {
 		jsonOut:    fs.Bool("json", false, "print the merged report as JSON (byte-identical to cmd/verify -json)"),
 		progress:   fs.Bool("progress", false, "report shard progress and coordinator events on stderr"),
 		allowFail:  fs.Bool("allow-failures", false, "exit 0 even when the sweep does not fully gather"),
+		metricsAddr: fs.String("metrics-addr", "",
+			"serve the coordinator's /metrics (and /debug/pprof) on this address while the run is live"),
 	}
 }
 
@@ -141,14 +154,60 @@ func (o *orch) options() (dist.Options, error) {
 		return opts, fmt.Errorf("sweepd: unknown backend %q (want proc or inproc)", *o.backend)
 	}
 	if *o.progress {
-		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "sweepd: %d/%d shards\r", done, total)
-		}
+		opts.Progress = progressLine
 		opts.Log = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	if *o.metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		opts.Metrics = reg
+		if err := serveMetrics(*o.metricsAddr, reg); err != nil {
+			return opts, fmt.Errorf("sweepd: metrics listener: %v", err)
+		}
+	}
 	return opts, nil
+}
+
+// progressLine renders one coordinator progress sample as a
+// carriage-return-refreshed stderr line: shard and pattern progress,
+// absorbed throughput, retries, and the ETA the current rate implies.
+func progressLine(p dist.Progress) {
+	rate := 0.0
+	if secs := p.Elapsed.Seconds(); secs > 0 {
+		rate = float64(p.DonePatterns) / secs
+	}
+	eta := "?"
+	if rate > 0 && p.DonePatterns < p.TotalPatterns {
+		left := float64(p.TotalPatterns-p.DonePatterns) / rate
+		eta = (time.Duration(left * float64(time.Second))).Round(time.Second).String()
+	} else if p.DonePatterns == p.TotalPatterns {
+		eta = "0s"
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: %d/%d shards, %d/%d patterns, %.0f patterns/s, %d retries, ETA %s\r",
+		p.DoneShards, p.TotalShards, p.DonePatterns, p.TotalPatterns, rate, p.Retries, eta)
+}
+
+// serveMetrics exposes a registry (plus net/http/pprof) on addr in the
+// background. The listener binds synchronously so a bad address fails
+// the command instead of dying silently mid-run.
+func serveMetrics(addr string, reg *metrics.Registry) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux)
+	return nil
 }
 
 func cmdRun(args []string) {
@@ -195,8 +254,17 @@ func cmdResume(args []string) {
 
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("sweepd serve", flag.ExitOnError)
+	pprofAddr := fs.String("pprof", "", "serve this worker's /metrics and /debug/pprof on this address (off when empty)")
 	fs.Parse(args)
-	if err := dist.Serve(context.Background(), os.Stdin, os.Stdout); err != nil {
+	st := &dist.WorkerState{}
+	if *pprofAddr != "" {
+		st.Metrics = metrics.NewRegistry()
+		if err := serveMetrics(*pprofAddr, st.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "sweepd serve: pprof listener: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if err := dist.ServeState(context.Background(), os.Stdin, os.Stdout, st); err != nil {
 		fmt.Fprintf(os.Stderr, "sweepd serve: %v\n", err)
 		os.Exit(2)
 	}

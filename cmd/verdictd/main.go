@@ -16,7 +16,8 @@
 //	                                          response: the internal/dist
 //	                                          framed JSONL stream
 //	GET  /healthz                             liveness + table coverage
-//	GET  /metrics                             serving counters (text)
+//	GET  /metrics                             metrics registry (sorted text)
+//	GET  /debug/pprof/*                       profiling (-pprof only)
 //
 // Flags:
 //
@@ -26,6 +27,7 @@
 //	-schedules 8       SSYNC robustness axis of live solves
 //	-adv-max-n 9       exact defeasibility bound for live solves
 //	-drain 30s         graceful-shutdown grace period
+//	-pprof             mount net/http/pprof under /debug/pprof/ (off by default)
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains:
 // in-flight verdict solves and /sweep streams run to completion (or
@@ -54,6 +56,7 @@ func main() {
 	schedules := flag.Int("schedules", serve.TableSchedules, "SSYNC robustness schedules per live solve")
 	advMaxN := flag.Int("adv-max-n", 9, "largest n decided exactly on the live path")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown grace period for in-flight work")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	flag.Parse()
 
 	svc, err := serve.NewService(serve.Options{
@@ -61,6 +64,7 @@ func main() {
 		Schedules:  *schedules,
 		AdvMaxN:    *advMaxN,
 		MaxRounds:  *shared.MaxRounds,
+		Pprof:      *pprofOn,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "verdictd: %v\n", err)

@@ -297,7 +297,7 @@ Flags:
 		fmt.Fprintln(os.Stderr)
 		if spec.OutcomeMemo != nil {
 			fmt.Fprintf(os.Stderr, "verify: memo: %d hits / %d misses, %d states created\n",
-				report.MemoHits, report.MemoMisses, report.StatesCreated)
+				report.Memo.Hits, report.Memo.Misses, report.Memo.Created)
 		}
 	}
 

@@ -69,10 +69,10 @@ func TestE15_N9Map(t *testing.T) {
 	// must have produced hits (77203 on a sequential run; the exact
 	// hit/miss split is scheduling-dependent under concurrent workers,
 	// so only demand they happened).
-	if rep.StatesCreated != 77359 {
-		t.Errorf("outcome states created %d, want 77359", rep.StatesCreated)
+	if rep.Memo.Created != 77359 {
+		t.Errorf("outcome states created %d, want 77359", rep.Memo.Created)
 	}
-	if rep.MemoHits == 0 {
+	if rep.Memo.Hits == 0 {
 		t.Error("memoized sweep recorded zero hits — trajectories never merged")
 	}
 }

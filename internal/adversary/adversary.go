@@ -188,13 +188,11 @@ func NewSolver(alg core.Algorithm, goal func(config.Config) bool, maxStates int)
 // solver).
 func (s *Solver) StatesExplored() int { return int(s.memo.Created()) }
 
-// MemoStats returns the shared game-state store's cumulative counters:
-// distinct states created, lookup hits, lookup misses. Hits measure
-// the cross-pattern sharing the memoization exists for (later patterns
-// re-entering earlier patterns' subgames).
-func (s *Solver) MemoStats() (created, hits, misses int64) {
-	return s.memo.Created(), s.memo.Hits(), s.memo.Misses()
-}
+// MemoStats snapshots the shared game-state store's cumulative
+// counters: distinct states created, lookup hits, lookup misses. Hits
+// measure the cross-pattern sharing the memoization exists for (later
+// patterns re-entering earlier patterns' subgames).
+func (s *Solver) MemoStats() memo.Stats { return s.memo.Stats() }
 
 // Defeatable decides whether the adversary wins from the initial
 // configuration. It errors on inputs outside the game's domain: more

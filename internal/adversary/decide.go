@@ -6,6 +6,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/memo"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -142,11 +143,11 @@ func (a *Adversary) StatesExplored() int {
 	return a.solver.StatesExplored()
 }
 
-// MemoStats returns the solver store's cumulative created/hits/misses
-// counters (all zero in heuristics-only mode); see Solver.MemoStats.
-func (a *Adversary) MemoStats() (created, hits, misses int64) {
+// MemoStats snapshots the solver store's hits/misses/created counters
+// (all zero in heuristics-only mode); see Solver.MemoStats.
+func (a *Adversary) MemoStats() memo.Stats {
 	if a.solver == nil {
-		return 0, 0, 0
+		return memo.Stats{}
 	}
 	return a.solver.MemoStats()
 }

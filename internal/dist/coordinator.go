@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/sweep"
 )
 
@@ -33,8 +34,15 @@ type Options struct {
 	// run would silently discard its progress); Resume requires one.
 	CheckpointPath string
 	// Progress, when non-nil, is called after every absorbed shard
-	// with the number of absorbed and planned shards.
-	Progress func(doneShards, totalShards int)
+	// with a cumulative progress sample.
+	Progress func(Progress)
+	// Metrics, when non-nil, receives the coordinator's fleet-wide
+	// series: shard progress, retries, per-shard worker timings,
+	// checkpoint-write durations, and the workers' aggregated memo
+	// counters (from the v2 Summary.Stats blocks). Purely
+	// observational — the merged report is bit-identical with or
+	// without it.
+	Metrics *metrics.Registry
 	// Log, when non-nil, receives coordinator events: worker crashes,
 	// re-queues, retries. Results never flow through it.
 	Log func(format string, args ...any)
@@ -143,6 +151,22 @@ func Resume(ctx context.Context, opts Options) (*sweep.Report, error) {
 	return run(ctx, opts, meta, ck, agg, ck.Remaining())
 }
 
+// Progress is one coordinator progress sample, delivered after every
+// absorbed shard.
+type Progress struct {
+	// DoneShards / TotalShards count absorbed and planned shards
+	// (resumed runs start with the checkpoint's absorbed count).
+	DoneShards, TotalShards int
+	// DonePatterns / TotalPatterns count the patterns those shards
+	// cover.
+	DonePatterns, TotalPatterns int
+	// Retries counts shard re-queues after worker failures so far.
+	Retries int
+	// Elapsed is the wall time since this coordinator started (a
+	// resume does not carry the preempted run's elapsed time).
+	Elapsed time.Duration
+}
+
 // shardOutcome is one worker's answer for one shard: a verified result
 // or the failure that voids the attempt.
 type shardOutcome struct {
@@ -157,6 +181,30 @@ type shardOutcome struct {
 // mid-shard can never leave a half-merged aggregate — and the
 // checkpoint is rewritten atomically after every merge.
 func run(ctx context.Context, opts Options, meta sweep.Meta, ck *Checkpoint, agg *sweep.Aggregator, remaining []int) (*sweep.Report, error) {
+	// Fleet-wide series, registered up front so a scrape during the
+	// first shard already sees every name (the registry accessors are
+	// nil-safe, so an unconfigured coordinator pays only throwaway
+	// metrics). None of this touches the Aggregator: instrumentation
+	// must not perturb the merged report.
+	reg := opts.Metrics
+	shardsTotal := reg.Gauge("dist_shards_total")
+	shardsDone := reg.Gauge("dist_shards_done")
+	patternsDone := reg.Gauge("dist_patterns_done")
+	retriesTotal := reg.Counter("dist_retries_total")
+	shardDur := reg.Histogram("dist_shard_duration_us")
+	ckWrite := reg.Histogram("dist_checkpoint_write_us")
+	fleetHits := reg.Counter("dist_fleet_memo_hits_total")
+	fleetMisses := reg.Counter("dist_fleet_memo_misses_total")
+	fleetStates := reg.Counter("dist_fleet_memo_states_total")
+	start := time.Now()
+	donePatterns := 0
+	for _, i := range ck.Done {
+		donePatterns += ck.Plan[i].Len()
+	}
+	shardsTotal.Set(int64(len(ck.Plan)))
+	shardsDone.Set(int64(len(ck.Done)))
+	patternsDone.Set(int64(donePatterns))
+
 	finish := func() (*sweep.Report, error) {
 		report := agg.Finish()
 		// PeakPending and the memo counters are per-process
@@ -230,6 +278,7 @@ func run(ctx context.Context, opts Options, meta sweep.Meta, ck *Checkpoint, agg
 	defer cancel() // runs before wg.Wait: stops the pool, then reaps it
 
 	attempts := map[int]int{}
+	retries := 0
 	absorbed := len(ck.Done)
 	for absorbed < len(ck.Plan) {
 		var out shardOutcome
@@ -244,6 +293,8 @@ func run(ctx context.Context, opts Options, meta sweep.Meta, ck *Checkpoint, agg
 			if attempts[out.idx] > opts.MaxRetries {
 				return nil, fmt.Errorf("dist: shard %s failed %d times, giving up: %w", shard, attempts[out.idx], out.err)
 			}
+			retries++
+			retriesTotal.Inc()
 			delay := opts.Backoff << (attempts[out.idx] - 1)
 			opts.Log("dist: shard %s attempt %d failed (%v); re-queueing in %s", shard, attempts[out.idx], out.err, delay)
 			idx := out.idx
@@ -267,18 +318,36 @@ func run(ctx context.Context, opts Options, meta sweep.Meta, ck *Checkpoint, agg
 		}
 		ck.Done = append(ck.Done, out.idx)
 		absorbed++
+		donePatterns += shard.Len()
+		shardsDone.Set(int64(absorbed))
+		patternsDone.Set(int64(donePatterns))
+		if ws := out.res.Summary.Stats; ws != nil {
+			shardDur.Observe(ws.DurationUS)
+			fleetHits.Add(ws.Memo.Hits)
+			fleetMisses.Add(ws.Memo.Misses)
+			fleetStates.Add(ws.Memo.Created)
+		}
 		if opts.CheckpointPath != "" {
 			snap, err := agg.Snapshot()
 			if err != nil {
 				return nil, err
 			}
 			ck.Agg = snap
+			ckStart := time.Now()
 			if err := SaveCheckpoint(opts.CheckpointPath, ck); err != nil {
 				return nil, fmt.Errorf("dist: persisting checkpoint: %w", err)
 			}
+			ckWrite.Observe(time.Since(ckStart).Microseconds())
 		}
 		if opts.Progress != nil {
-			opts.Progress(absorbed, len(ck.Plan))
+			opts.Progress(Progress{
+				DoneShards:    absorbed,
+				TotalShards:   len(ck.Plan),
+				DonePatterns:  donePatterns,
+				TotalPatterns: meta.Patterns,
+				Retries:       retries,
+				Elapsed:       time.Since(start),
+			})
 		}
 	}
 	return finish()

@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"repro/internal/dist"
+	"repro/internal/metrics"
 	"repro/internal/sweep"
 )
 
@@ -379,8 +380,8 @@ func TestResumeAfterPreemption(t *testing.T) {
 		Workers:        1,
 		Backend:        dist.InprocBackend{},
 		CheckpointPath: path,
-		Progress: func(done, total int) {
-			if done == 2 {
+		Progress: func(p dist.Progress) {
+			if p.DoneShards == 2 {
 				cancel()
 			}
 		},
@@ -444,4 +445,98 @@ func TestRunRejectsAdversaryScheduler(t *testing.T) {
 		t.Fatal("Run accepted the adversary scheduler, whose reports are not merge-stable")
 	}
 	_ = fmt.Sprint(err)
+}
+
+// TestCoordinatorMetrics: a fully instrumented coordinator — registry
+// on, progress on — produces a report byte-identical to the serial
+// reference (instrumentation must not perturb aggregation), and the
+// fleet-wide series it exposes agree with the plan: every shard done,
+// every pattern absorbed, worker stats aggregated from the v2 Summary
+// blocks.
+func TestCoordinatorMetrics(t *testing.T) {
+	d := testDesc()
+	want := serialJSON(t, d)
+	meta, err := d.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	var last dist.Progress
+	rep, err := dist.Run(context.Background(), dist.Options{
+		Spec:     d,
+		Shards:   7,
+		Workers:  3,
+		Backend:  dist.InprocBackend{},
+		Metrics:  reg,
+		Progress: func(p dist.Progress) { last = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reportJSON(t, rep); got != want {
+		t.Fatal("instrumented run's merged report differs from serial reference")
+	}
+	text := reg.Expose()
+	for _, want := range []string{
+		"dist_shards_total 7\n",
+		"dist_shards_done 7\n",
+		fmt.Sprintf("dist_patterns_done %d\n", meta.Patterns),
+		"dist_retries_total 0\n",
+		"dist_shard_duration_us_count 7\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fleet metrics missing %q:\n%s", want, text)
+		}
+	}
+	// The descriptor's sweep always runs with an outcome memo, so the
+	// workers' summary stats must have carried store activity upstream
+	// (ssync rollouts consult the store on every run; publication is
+	// tier-gated, so lookups — not created states — are the live signal).
+	if !strings.Contains(text, "dist_fleet_memo_misses_total ") ||
+		strings.Contains(text, "dist_fleet_memo_misses_total 0\n") {
+		t.Errorf("fleet memo counters did not aggregate:\n%s", text)
+	}
+	if last.DoneShards != 7 || last.TotalShards != 7 ||
+		last.DonePatterns != meta.Patterns || last.TotalPatterns != meta.Patterns {
+		t.Errorf("final progress sample %+v", last)
+	}
+	if last.Elapsed <= 0 {
+		t.Errorf("progress elapsed %v, want > 0", last.Elapsed)
+	}
+}
+
+// TestWorkerSummaryStats: every RunShard stream's trailing summary
+// carries the v2 worker stats block, and its memo deltas describe just
+// that shard.
+func TestWorkerSummaryStats(t *testing.T) {
+	// fsync: the deterministic engine both consults and publishes the
+	// outcome memo, so every Stats field is exercised.
+	d := sweep.SpecDesc{N: 5, Sched: "fsync"}
+	d.Normalize()
+	shard := sweep.Range{Lo: 0, Hi: 4}
+	var buf bytes.Buffer
+	st := &dist.WorkerState{Metrics: metrics.NewRegistry()}
+	if err := dist.RunShard(context.Background(), d, shard, &buf, st); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dist.ReadShard(json.NewDecoder(&buf), dist.Header{Schema: dist.SchemaVersion, Spec: d.Digest(), Shard: shard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := res.Summary.Stats
+	if ws == nil {
+		t.Fatal("summary carries no worker stats")
+	}
+	if ws.DurationUS <= 0 || ws.PatternsPerSec <= 0 {
+		t.Errorf("degenerate timings: %+v", ws)
+	}
+	if ws.Memo.Lookups() == 0 || ws.Memo.Created == 0 {
+		t.Errorf("memo deltas empty: %+v", ws.Memo)
+	}
+	text := st.Metrics.Expose()
+	for _, want := range []string{"worker_shards_total 1\n", "worker_shard_duration_us_count 1\n", "sweep_runs_total 4\n"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("worker registry missing %q:\n%s", want, text)
+		}
+	}
 }

@@ -25,6 +25,7 @@ import (
 	"io"
 
 	"repro/internal/config"
+	"repro/internal/memo"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -32,7 +33,8 @@ import (
 // SchemaVersion is the version of the framed JSONL case stream. It is
 // carried by every stream's header record; a reader that speaks a
 // different version rejects the stream instead of mis-merging it.
-const SchemaVersion = 1
+// v2 added the worker-side Stats block to the trailing Summary.
+const SchemaVersion = 2
 
 // Header is the first record of a case stream: the stream's schema
 // version, the digest of the sweep descriptor the cases belong to, and
@@ -73,6 +75,21 @@ type Summary struct {
 	Shard    sweep.Range    `json:"shard"`
 	Cases    int            `json:"cases"`
 	ByStatus map[string]int `json:"by_status"`
+	// Stats is the worker's per-shard diagnostics block (schema v2).
+	// It rides the completion mark but never enters the merged report:
+	// the coordinator aggregates it into its fleet-wide registry, and
+	// ReadShard's consistency checks ignore it — durations and memo
+	// splits are scheduling-dependent, results are not.
+	Stats *WorkerStats `json:"stats,omitempty"`
+}
+
+// WorkerStats is one shard's worker-side telemetry: wall time,
+// throughput, and the outcome-store counter deltas the shard incurred
+// (zero-valued when the sweep runs without an outcome memo).
+type WorkerStats struct {
+	DurationUS     int64      `json:"duration_us"`
+	PatternsPerSec float64    `json:"patterns_per_sec"`
+	Memo           memo.Stats `json:"memo"`
 }
 
 // CaseFromResult maps one shard-local sweep result onto the wire:

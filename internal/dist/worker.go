@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/memo"
+	"repro/internal/metrics"
 	"repro/internal/sweep"
 )
 
@@ -31,6 +33,12 @@ type WorkerState struct {
 	digest   string
 	cache    *core.Memo
 	outcomes *memo.Outcomes
+
+	// Metrics, when non-nil, receives the worker's own series —
+	// worker_shards_total, worker_shard_duration_us, plus the sweep
+	// engine's sweep_* series — for workers that expose a /metrics
+	// sidecar (sweepd serve -pprof, verdictd's /sweep handler).
+	Metrics *metrics.Registry
 }
 
 func (st *WorkerState) forSpec(d sweep.SpecDesc) (*core.Memo, *memo.Outcomes) {
@@ -61,6 +69,9 @@ func RunShard(ctx context.Context, d sweep.SpecDesc, shard sweep.Range, w io.Wri
 		return err
 	}
 	spec.Cache, spec.OutcomeMemo = st.forSpec(d)
+	if st != nil {
+		spec.Metrics = st.Metrics
+	}
 	full := spec.Source
 	if total := full.Count(); !shard.Valid(total) {
 		return fmt.Errorf("dist: shard %s out of range for %s (%d patterns)", shard, full.Label(), total)
@@ -71,6 +82,11 @@ func RunShard(ctx context.Context, d sweep.SpecDesc, shard sweep.Range, w io.Wri
 	if err := enc.Encode(Header{Schema: SchemaVersion, Spec: d.Digest(), Shard: shard}); err != nil {
 		return err
 	}
+	var memoBase memo.Stats
+	if spec.OutcomeMemo != nil {
+		memoBase = spec.OutcomeMemo.Stats()
+	}
+	start := time.Now()
 	byStatus := map[string]int{}
 	n := 0
 	_, err = sweep.Stream(ctx, spec, func(cr sweep.CaseResult) error {
@@ -82,7 +98,19 @@ func RunShard(ctx context.Context, d sweep.SpecDesc, shard sweep.Range, w io.Wri
 	if err != nil {
 		return err
 	}
-	return enc.Encode(Summary{EOF: true, Shard: shard, Cases: n, ByStatus: byStatus})
+	elapsed := time.Since(start)
+	stats := &WorkerStats{DurationUS: elapsed.Microseconds()}
+	if secs := elapsed.Seconds(); secs > 0 {
+		stats.PatternsPerSec = float64(shard.Len()) / secs
+	}
+	if spec.OutcomeMemo != nil {
+		stats.Memo = spec.OutcomeMemo.Stats().Sub(memoBase)
+	}
+	if st != nil {
+		st.Metrics.Counter("worker_shards_total").Inc()
+		st.Metrics.Histogram("worker_shard_duration_us").Observe(stats.DurationUS)
+	}
+	return enc.Encode(Summary{EOF: true, Shard: shard, Cases: n, ByStatus: byStatus, Stats: stats})
 }
 
 // Serve is the persistent worker loop behind `sweepd serve` and the
@@ -92,8 +120,14 @@ func RunShard(ctx context.Context, d sweep.SpecDesc, shard sweep.Range, w io.Wri
 // coordinator treats a dead worker as a crashed one and re-queues its
 // shard elsewhere, so dying loudly is the correct failure mode.
 func Serve(ctx context.Context, r io.Reader, w io.Writer) error {
+	return ServeState(ctx, r, w, &WorkerState{})
+}
+
+// ServeState is Serve with a caller-supplied WorkerState — the hook
+// for daemons that pre-wire a metrics registry (sweepd serve -pprof)
+// or want warm state to survive across Serve calls.
+func ServeState(ctx context.Context, r io.Reader, w io.Writer, st *WorkerState) error {
 	dec := json.NewDecoder(r)
-	st := &WorkerState{}
 	for {
 		var u WorkUnit
 		if err := dec.Decode(&u); err != nil {

@@ -197,3 +197,34 @@ func (s *Store[V]) Hits() int64 { return s.hits.Load() }
 
 // Misses returns the number of Loads that found nothing.
 func (s *Store[V]) Misses() int64 { return s.misses.Load() }
+
+// Stats is a point-in-time snapshot of a store's counters — the one
+// memo-statistics currency every consumer shares (sweep reports,
+// worker wire summaries, CLI stderr tallies, /metrics gauges).
+type Stats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Created int64 `json:"created"`
+}
+
+// Stats snapshots the store's cumulative counters. The three loads are
+// not atomic as a group; under concurrent traffic the snapshot is a
+// consistent-enough diagnostic, not a transaction.
+func (s *Store[V]) Stats() Stats {
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Created: s.created.Load()}
+}
+
+// Sub returns the counter deltas since base — the per-run view over a
+// long-lived shared store.
+func (s Stats) Sub(base Stats) Stats {
+	return Stats{Hits: s.Hits - base.Hits, Misses: s.Misses - base.Misses, Created: s.Created - base.Created}
+}
+
+// Add returns the component-wise sum — fleet aggregation across
+// workers.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses, Created: s.Created + o.Created}
+}
+
+// Lookups returns the total number of store consultations.
+func (s Stats) Lookups() int64 { return s.Hits + s.Misses }

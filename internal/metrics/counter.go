@@ -26,42 +26,3 @@ func (c *Counter) Value() int64 {
 	defer c.mu.Unlock()
 	return c.v
 }
-
-// SafeHistogram wraps Histogram with a mutex so concurrent request
-// handlers can record latencies into one histogram. Accessors take the
-// same lock, so summaries read a consistent snapshot.
-type SafeHistogram struct {
-	mu sync.Mutex
-	h  *Histogram
-}
-
-// NewSafeHistogram returns an empty concurrency-safe histogram.
-func NewSafeHistogram() *SafeHistogram { return &SafeHistogram{h: NewHistogram()} }
-
-// Add records one observation.
-func (s *SafeHistogram) Add(v int) {
-	s.mu.Lock()
-	s.h.Add(v)
-	s.mu.Unlock()
-}
-
-// N returns the number of observations.
-func (s *SafeHistogram) N() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.h.N()
-}
-
-// Percentile returns the p-th percentile by the nearest-rank method.
-func (s *SafeHistogram) Percentile(p float64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.h.Percentile(p)
-}
-
-// Max returns the largest observed value (0 if empty).
-func (s *SafeHistogram) Max() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.h.Max()
-}

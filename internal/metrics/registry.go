@@ -1,0 +1,386 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is the unified instrumentation namespace: a concurrency-safe
+// map from series keys — a metric name plus optional label pairs — to
+// counters, gauges, gauge functions, and quantile histograms, rendered
+// as deterministically sorted Prometheus-style text exposition. Every
+// serving layer (internal/serve, internal/dist, internal/sweep) hangs
+// its series off one Registry so a single /metrics read sees the whole
+// process.
+//
+// Get-or-create accessors return the same metric for the same (name,
+// labels) on every call, so hot paths resolve their series once and
+// hold the pointer; the Registry lock is never on a request path. All
+// accessors are nil-receiver safe: on a nil Registry they return a
+// live but unregistered metric (writes go nowhere observable), which
+// lets library code instrument unconditionally and callers opt in by
+// supplying a Registry.
+type Registry struct {
+	mu    sync.Mutex
+	items map[string]*entry
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	return [...]string{"counter", "gauge", "gauge-func", "histogram"}[k]
+}
+
+// entry is one registered series. name and labels are kept so
+// histograms can render their quantile sub-series with the q label
+// merged in.
+type entry struct {
+	kind    metricKind
+	name    string
+	labels  []string // sorted k,v pairs
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() int64
+	hist    *QuantileHist
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{items: make(map[string]*entry)}
+}
+
+// seriesKey renders the full series identity: name{k="v",...} with
+// label pairs sorted by key, bare name without labels. Label arguments
+// are alternating key, value strings; an odd count is a programmer
+// error and panics.
+func seriesKey(name string, labels []string) (string, []string) {
+	if len(labels) == 0 {
+		return name, nil
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("metrics: series %q has an odd label list %q", name, labels))
+	}
+	pairs := make([][2]string, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, [2]string{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+	sorted := make([]string, 0, len(labels))
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p[0], p[1])
+		sorted = append(sorted, p[0], p[1])
+	}
+	b.WriteByte('}')
+	return b.String(), sorted
+}
+
+// get returns the entry for the series, creating it with make when
+// absent; a kind clash on an existing series panics (one name, one
+// type — the exposition could not render both).
+func (r *Registry) get(kind metricKind, name string, labels []string, make func(*entry)) *entry {
+	key, sorted := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.items[key]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: series %s registered as %s, requested as %s", key, e.kind, kind))
+		}
+		return e
+	}
+	e := &entry{kind: kind, name: name, labels: sorted}
+	make(e)
+	r.items[key] = e
+	return e
+}
+
+// Counter returns the named monotonic counter, creating it on first
+// use. Labels are alternating key, value pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	return r.get(kindCounter, name, labels, func(e *entry) { e.counter = &Counter{} }).counter
+}
+
+// Gauge returns the named settable gauge, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	return r.get(kindGauge, name, labels, func(e *entry) { e.gauge = &Gauge{} }).gauge
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at
+// exposition time — the live-view hook for counters that already exist
+// elsewhere (a memo.Store's hit/miss/created). Re-registering the same
+// series replaces the function. fn is called with the registry lock
+// held, so it must not touch the registry itself.
+func (r *Registry) GaugeFunc(name string, fn func() int64, labels ...string) {
+	if r == nil {
+		return
+	}
+	e := r.get(kindGaugeFunc, name, labels, func(e *entry) {})
+	r.mu.Lock()
+	e.gaugeFn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the named quantile histogram, creating it on first
+// use. The exposition renders it as <name>_count plus one sub-series
+// per quantile with a q label (p50/p95/p99/max) merged into the
+// series' own labels.
+func (r *Registry) Histogram(name string, labels ...string) *QuantileHist {
+	if r == nil {
+		return NewQuantileHist()
+	}
+	return r.get(kindHistogram, name, labels, func(e *entry) { e.hist = NewQuantileHist() }).hist
+}
+
+// WriteText renders the whole registry as Prometheus-style text lines
+// ("series value\n"), sorted lexicographically by the full line — the
+// order is a deterministic pure function of the registered series and
+// their values, never of registration or map iteration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Lines are built under the registry lock: gauge functions are read
+	// (and called) here, so they must not touch the registry themselves.
+	r.mu.Lock()
+	var lines []string
+	for _, e := range r.items {
+		key, _ := seriesKey(e.name, e.labels)
+		switch e.kind {
+		case kindCounter:
+			lines = append(lines, fmt.Sprintf("%s %d", key, e.counter.Value()))
+		case kindGauge:
+			lines = append(lines, fmt.Sprintf("%s %d", key, e.gauge.Value()))
+		case kindGaugeFunc:
+			lines = append(lines, fmt.Sprintf("%s %d", key, e.gaugeFn()))
+		case kindHistogram:
+			s := e.hist.Snapshot()
+			countKey, _ := seriesKey(e.name+"_count", e.labels)
+			lines = append(lines, fmt.Sprintf("%s %d", countKey, s.N))
+			if s.N == 0 {
+				continue // quantiles of nothing: the count line says it all
+			}
+			for _, q := range [...]struct {
+				label string
+				v     int64
+			}{{"p50", s.P50}, {"p95", s.P95}, {"p99", s.P99}, {"max", s.Max}} {
+				qKey, _ := seriesKey(e.name, append(append([]string{}, e.labels...), "q", q.label))
+				lines = append(lines, fmt.Sprintf("%s %d", qKey, q.v))
+			}
+		}
+	}
+	r.mu.Unlock()
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := io.WriteString(w, l+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Expose renders WriteText to a string.
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+// Gauge is a settable instantaneous value, concurrency-safe. The zero
+// value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// SetMax raises the gauge to v if v is larger — the high-water-mark
+// update, linearizable under concurrent callers.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// QuantileHist is a bounded-memory quantile histogram over non-negative
+// int64 observations (latencies in microseconds, sizes, durations).
+// Values 0–63 count exactly; larger values land in log-linear buckets —
+// 16 sub-buckets per power of two — so any quantile estimate is an
+// upper bound within a 1/16 (6.25%) relative error of the true
+// nearest-rank value, at a fixed ~8 KB per histogram no matter how many
+// observations arrive. The maximum is tracked exactly. The zero value
+// is NOT ready; build with NewQuantileHist (Registry.Histogram does).
+type QuantileHist struct {
+	mu     sync.Mutex
+	counts [histBuckets]int64
+	n      int64
+	sum    int64
+	max    int64
+}
+
+const (
+	// histLinear is the exact range: values below it are their own
+	// bucket.
+	histLinear = 64
+	// histSubBits is the log-linear resolution: 2^4 = 16 sub-buckets
+	// per power of two, hence the 1/16 relative error bound.
+	histSubBits = 4
+	// histBuckets covers exponents 6..62 (int64 positive range) past
+	// the linear region.
+	histBuckets = histLinear + (63-6)*(1<<histSubBits)
+)
+
+// NewQuantileHist returns an empty histogram.
+func NewQuantileHist() *QuantileHist { return &QuantileHist{} }
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v < histLinear {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // v in [2^exp, 2^exp+1)
+	sub := (v >> (uint(exp) - histSubBits)) & (1<<histSubBits - 1)
+	return histLinear + (exp-6)<<histSubBits + int(sub)
+}
+
+// bucketUpper is the largest value the bucket can hold — the quantile
+// estimate, conservative by construction.
+func bucketUpper(idx int) int64 {
+	if idx < histLinear {
+		return int64(idx)
+	}
+	idx -= histLinear
+	exp := idx>>histSubBits + 6
+	sub := int64(idx & (1<<histSubBits - 1))
+	lo := (int64(1)<<histSubBits + sub) << (uint(exp) - histSubBits)
+	return lo + int64(1)<<(uint(exp)-histSubBits) - 1
+}
+
+// Observe records one value; negatives clamp to zero.
+func (h *QuantileHist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	idx := bucketOf(v)
+	h.mu.Lock()
+	h.counts[idx]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// N returns the number of observations.
+func (h *QuantileHist) N() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Max returns the exact largest observation (0 if empty).
+func (h *QuantileHist) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Sum returns the sum of all observations.
+func (h *QuantileHist) Sum() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by nearest rank: an
+// upper bound on the true value, within 1/16 relative error (exact
+// below 64 and at q = 1, which returns the tracked maximum).
+func (h *QuantileHist) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *QuantileHist) quantileLocked(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// HistSnapshot is one consistent read of a QuantileHist.
+type HistSnapshot struct {
+	N   int64 `json:"count"`
+	Sum int64 `json:"sum"`
+	P50 int64 `json:"p50"`
+	P95 int64 `json:"p95"`
+	P99 int64 `json:"p99"`
+	Max int64 `json:"max"`
+}
+
+// Snapshot reads count, sum and the p50/p95/p99/max quantiles under
+// one lock acquisition, so the fields are mutually consistent.
+func (h *QuantileHist) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{
+		N:   h.n,
+		Sum: h.sum,
+		P50: h.quantileLocked(0.50),
+		P95: h.quantileLocked(0.95),
+		P99: h.quantileLocked(0.99),
+		Max: h.max,
+	}
+}

@@ -1,0 +1,257 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestRegistryGolden pins the exposition format byte-for-byte: series
+// sorted lexicographically, labels sorted by key, histograms expanded
+// to _count plus q-labeled quantile lines.
+func TestRegistryGolden(t *testing.T) {
+	r := NewRegistry()
+	// Register in a deliberately shuffled order: the exposition must
+	// not care.
+	r.Counter("zebra_total").Add(3)
+	r.Gauge("alpha_pending").Set(7)
+	r.GaugeFunc("beta_live", func() int64 { return 42 })
+	r.Counter("family_total", "path", "miss").Add(2)
+	r.Counter("family_total", "path", "hit").Add(9)
+	h := r.Histogram("lat_us", "path", "hit")
+	for v := int64(1); v <= 10; v++ {
+		h.Observe(v)
+	}
+	r.Histogram("lat_us", "path", "miss") // registered, empty
+
+	want := `alpha_pending 7
+beta_live 42
+family_total{path="hit"} 9
+family_total{path="miss"} 2
+lat_us_count{path="hit"} 10
+lat_us_count{path="miss"} 0
+lat_us{path="hit",q="max"} 10
+lat_us{path="hit",q="p50"} 5
+lat_us{path="hit",q="p95"} 10
+lat_us{path="hit",q="p99"} 10
+zebra_total 3
+`
+	if got := r.Expose(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Idempotent: a second render is byte-identical.
+	if again := r.Expose(); again != r.Expose() {
+		t.Error("exposition is not deterministic across renders")
+	}
+}
+
+// TestRegistrySorted: whatever is registered, the rendered lines come
+// out sorted — the property the /metrics golden tests lean on.
+func TestRegistrySorted(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"m_c", "m_a{x=\"1\"}", "m_b", "a", "zz", "m_a"}
+	for i, n := range names {
+		base := strings.SplitN(n, "{", 2)[0]
+		if strings.Contains(n, "{") {
+			r.Counter(base, "x", "1").Add(int64(i))
+		} else {
+			r.Counter(base).Add(int64(i))
+		}
+	}
+	lines := strings.Split(strings.TrimRight(r.Expose(), "\n"), "\n")
+	if !sort.StringsAreSorted(lines) {
+		t.Errorf("exposition lines not sorted:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestRegistryGetOrCreate: same (name, labels) — any label order —
+// resolves to the same metric.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "k1", "v1", "k2", "v2")
+	b := r.Counter("x_total", "k2", "v2", "k1", "v1")
+	if a != b {
+		t.Error("label order created distinct series")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("aliased counters diverged")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind clash did not panic")
+		}
+	}()
+	r.Gauge("x_total", "k1", "v1", "k2", "v2")
+}
+
+// TestNilRegistry: a nil registry hands out live throwaway metrics so
+// library instrumentation needs no guards.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(5)
+	r.GaugeFunc("f", func() int64 { return 1 })
+	r.Histogram("h").Observe(9)
+	if got := r.Expose(); got != "" {
+		t.Errorf("nil registry exposed %q", got)
+	}
+}
+
+// TestGaugeSetMax is the high-water-mark contract.
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Errorf("SetMax lowered the gauge to %d", g.Value())
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Errorf("SetMax did not raise to 9: %d", g.Value())
+	}
+}
+
+// TestQuantileAccuracy: against a reference sort, every estimate is an
+// upper bound within the documented 1/16 relative error (exact in the
+// linear region and at the maximum).
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		h := NewQuantileHist()
+		n := 1 + rng.Intn(5000)
+		vals := make([]int64, n)
+		for i := range vals {
+			// Mix magnitudes: exact region, mid, large.
+			switch rng.Intn(3) {
+			case 0:
+				vals[i] = int64(rng.Intn(64))
+			case 1:
+				vals[i] = int64(rng.Intn(100000))
+			default:
+				vals[i] = int64(rng.Intn(1 << 40))
+			}
+			h.Observe(vals[i])
+		}
+		sorted := append([]int64{}, vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+			rank := int(q * float64(n))
+			if rank < 1 {
+				rank = 1
+			}
+			ref := sorted[rank-1]
+			got := h.Quantile(q)
+			if got < ref {
+				t.Fatalf("trial %d q=%v: estimate %d below true %d", trial, q, got, ref)
+			}
+			if slack := ref/16 + 1; got > ref+slack {
+				t.Fatalf("trial %d q=%v: estimate %d exceeds true %d by more than %d", trial, q, got, ref, slack)
+			}
+		}
+		if h.Max() != sorted[n-1] {
+			t.Fatalf("trial %d: max %d, want %d", trial, h.Max(), sorted[n-1])
+		}
+		if h.N() != int64(n) {
+			t.Fatalf("trial %d: n %d, want %d", trial, h.N(), n)
+		}
+	}
+}
+
+// TestQuantileMonotone mirrors the legacy histogram's property test on
+// the bounded-memory implementation.
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewQuantileHist()
+		for _, v := range raw {
+			h.Observe(int64(v))
+		}
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return h.Quantile(1) == h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBucketBounds: every bucket's upper bound maps back to the same
+// bucket, and upper bounds strictly increase — the estimate can never
+// fall below an observation in the bucket.
+func TestBucketBounds(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		u := bucketUpper(i)
+		if u <= prev {
+			t.Fatalf("bucket %d upper %d not above previous %d", i, u, prev)
+		}
+		if got := bucketOf(u); got != i {
+			t.Fatalf("bucket %d upper %d maps to bucket %d", i, u, got)
+		}
+		prev = u
+	}
+}
+
+// TestRegistryRace: concurrent counter/gauge/histogram writers while a
+// reader renders the exposition. Run under -race, this is the
+// registry's concurrency contract test.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	var live int64 = 11
+	r.GaugeFunc("live", func() int64 { return live })
+	const writers = 8
+	const perWriter = 2000
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+	readWG.Add(1)
+	go func() { // reader: render while writes are in flight
+		defer readWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Expose()
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			c := r.Counter("hits_total")
+			g := r.Gauge("pending")
+			h := r.Histogram("lat_us", "path", "hit")
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.SetMax(int64(i))
+				h.Observe(int64(w*perWriter + i))
+			}
+		}(w)
+	}
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+
+	if got := r.Counter("hits_total").Value(); got != writers*perWriter {
+		t.Errorf("counter %d, want %d", got, writers*perWriter)
+	}
+	if got := r.Histogram("lat_us", "path", "hit").N(); got != writers*perWriter {
+		t.Errorf("histogram count %d, want %d", got, writers*perWriter)
+	}
+	if !strings.Contains(r.Expose(), "live 11") {
+		t.Error("gauge func missing from exposition")
+	}
+}

@@ -5,12 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/dist"
-	"repro/internal/metrics"
 	"repro/internal/sweep"
 )
 
@@ -49,13 +49,6 @@ type VerdictResponse struct {
 	} `json:"adversary"`
 }
 
-// httpMetrics are the transport-level latency histograms — kept out of
-// the Service so its hot path stays allocation-free.
-type httpMetrics struct {
-	hitMicros  *metrics.SafeHistogram
-	missMicros *metrics.SafeHistogram
-}
-
 // Handler returns the service's HTTP front-end:
 //
 //	GET  /verdict?key=q,r:q,r:...[&alg=name]   one pattern's verdict (JSON)
@@ -64,18 +57,34 @@ type httpMetrics struct {
 //	                                            internal/dist framed JSONL
 //	                                            stream (header, cases, summary)
 //	GET  /healthz                               liveness + table coverage
-//	GET  /metrics                               serving counters (text)
+//	GET  /metrics                               registry exposition (sorted text)
+//	GET  /debug/pprof/*                         net/http/pprof (Options.Pprof only)
 func (s *Service) Handler() http.Handler {
-	hm := &httpMetrics{hitMicros: metrics.NewSafeHistogram(), missMicros: metrics.NewSafeHistogram()}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/verdict", func(w http.ResponseWriter, r *http.Request) { s.handleVerdict(w, r, hm) })
+	mux.HandleFunc("/verdict", s.handleVerdict)
 	mux.HandleFunc("/sweep", s.handleSweep)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) { s.handleMetrics(w, r, hm) })
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.opts.Pprof {
+		MountPprof(mux)
+	}
 	return mux
 }
 
-func (s *Service) handleVerdict(w http.ResponseWriter, r *http.Request, hm *httpMetrics) {
+// MountPprof attaches the net/http/pprof handlers to a mux — shared by
+// the verdictd front-end and the sweepd worker/coordinator sidecars, so
+// every daemon's profiling surface has the same shape. Opt-in only: a
+// profiling endpoint can stall the process (heap dumps, 30s CPU
+// captures) and must never be ambient on a serving port.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+func (s *Service) handleVerdict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "verdict is GET", http.StatusMethodNotAllowed)
 		return
@@ -109,11 +118,11 @@ func (s *Service) handleVerdict(w http.ResponseWriter, r *http.Request, hm *http
 		http.Error(w, err.Error(), status)
 		return
 	}
-	micros := int(time.Since(start).Microseconds())
+	micros := time.Since(start).Microseconds()
 	if src == SourceTable {
-		hm.hitMicros.Add(micros)
+		s.hitLat.Observe(micros)
 	} else {
-		hm.missMicros.Add(micros)
+		s.missLat.Observe(micros)
 	}
 
 	if algName == "" {
@@ -163,7 +172,11 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.met.Sweeps.Inc()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	shard := sweep.Range{Lo: 0, Hi: spec.Source.Count()}
-	if err := dist.RunShard(r.Context(), desc, shard, flushWriter{w}, nil); err != nil {
+	// A fresh WorkerState per request (no warm cross-request state, as
+	// before), but carrying the service registry so the sweep engine's
+	// throughput series land on this daemon's /metrics page.
+	st := &dist.WorkerState{Metrics: s.reg}
+	if err := dist.RunShard(r.Context(), desc, shard, flushWriter{w}, st); err != nil {
 		// Headers are gone; a truncated stream (no trailing summary)
 		// is the in-band error signal, exactly as for a dead worker.
 		s.met.Errors.Inc()
@@ -189,25 +202,7 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		TableLen(), minN, maxN)
 }
 
-func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request, hm *httpMetrics) {
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	m := &s.met
-	fmt.Fprintf(w, "verdictd_requests_total %d\n", m.Requests.Value())
-	fmt.Fprintf(w, "verdictd_table_hits_total %d\n", m.TableHits.Value())
-	fmt.Fprintf(w, "verdictd_solves_total %d\n", m.Solves.Value())
-	fmt.Fprintf(w, "verdictd_cached_total %d\n", m.Cached.Value())
-	fmt.Fprintf(w, "verdictd_errors_total %d\n", m.Errors.Value())
-	fmt.Fprintf(w, "verdictd_sweeps_total %d\n", m.Sweeps.Value())
-	fmt.Fprintf(w, "verdictd_table_patterns %d\n", TableLen())
-	for _, h := range []struct {
-		name string
-		hist *metrics.SafeHistogram
-	}{{"hit", hm.hitMicros}, {"miss", hm.missMicros}} {
-		if h.hist.N() == 0 {
-			continue
-		}
-		fmt.Fprintf(w, "verdictd_%s_latency_us{q=\"p50\"} %d\n", h.name, h.hist.Percentile(50))
-		fmt.Fprintf(w, "verdictd_%s_latency_us{q=\"p99\"} %d\n", h.name, h.hist.Percentile(99))
-		fmt.Fprintf(w, "verdictd_%s_latency_us{q=\"max\"} %d\n", h.name, h.hist.Max())
-	}
+	s.reg.WriteText(w)
 }

@@ -4,10 +4,14 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"sort"
+
+	"repro/internal/dist"
 	"strings"
 	"sync"
 	"testing"
@@ -157,7 +161,7 @@ func TestHTTPSweep(t *testing.T) {
 	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
 		t.Fatal(err)
 	}
-	if header.Schema != 1 || header.Spec == "" || header.Shard != [2]int{0, 44} {
+	if header.Schema != dist.SchemaVersion || header.Spec == "" || header.Shard != [2]int{0, 44} {
 		t.Fatalf("header %+v", header)
 	}
 	var summary struct {
@@ -205,6 +209,65 @@ func TestHTTPHealthzAndMetrics(t *testing.T) {
 	resp.Body.Close()
 	text := string(body)
 	for _, want := range []string{"verdictd_requests_total 1", "verdictd_table_hits_total 1", "verdictd_hit_latency_us"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestHTTPMetricsGolden pins the /metrics exposition of a fresh
+// service byte-for-byte: every series the registry pre-registers, in
+// sorted order, before any traffic lands. Any new series, rename, or
+// ordering change shows up here first.
+func TestHTTPMetricsGolden(t *testing.T) {
+	_, srv := testServer(t, Options{})
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	want := "verdictd_cached_total 0\n" +
+		"verdictd_errors_total 0\n" +
+		"verdictd_hit_latency_us_count 0\n" +
+		"verdictd_miss_latency_us_count 0\n" +
+		"verdictd_requests_total 0\n" +
+		"verdictd_solves_total 0\n" +
+		"verdictd_sweeps_total 0\n" +
+		"verdictd_table_hits_total 0\n" +
+		fmt.Sprintf("verdictd_table_patterns %d\n", TableLen())
+	if string(body) != want {
+		t.Errorf("fresh /metrics:\ngot:\n%s\nwant:\n%s", body, want)
+	}
+}
+
+// TestHTTPMetricsSortedAfterTraffic: once hits, misses and engines
+// exist, the exposition stays sorted and carries the latency quantiles
+// and the per-engine memo gauges.
+func TestHTTPMetricsSortedAfterTraffic(t *testing.T) {
+	_, srv := testServer(t, Options{AdvMaxN: 8})
+	getJSON(t, srv.URL+"/verdict?key=0,0:1,0:2,0:0,1:1,1:2,1:1,2", nil)
+	getJSON(t, srv.URL+"/verdict?key="+strings.ReplaceAll(lineN9Key, ";", ":"), nil)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if !sort.StringsAreSorted(lines) {
+		t.Errorf("/metrics lines not sorted:\n%s", text)
+	}
+	for _, want := range []string{
+		"verdictd_requests_total 2",
+		"verdictd_table_hits_total 1",
+		"verdictd_solves_total 1",
+		"verdictd_hit_latency_us_count 1",
+		`verdictd_hit_latency_us{q="p99"} `,
+		`verdictd_memo_states{alg="full"} `,
+		`verdictd_flight_records{alg="full"} 1`,
+	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)
 		}

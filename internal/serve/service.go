@@ -93,6 +93,9 @@ type Options struct {
 	AdvMaxN int
 	// MaxRounds bounds each live run (0 = the engine default).
 	MaxRounds int
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the Handler.
+	// Off by default: profiling endpoints are opt-in surface.
+	Pprof bool
 }
 
 func (o *Options) normalize() {
@@ -113,22 +116,30 @@ func (o *Options) normalize() {
 	}
 }
 
-// Metrics are the Service's serving counters, exposed by the /metrics
-// handler and readable in tests. Latency histograms live in the HTTP
-// layer (recording them allocates; the Verdict hot path must not).
+// Metrics are the Service's serving counters: registry series
+// pre-resolved at construction, so the Verdict hot path is plain
+// pointer increments — no registry lookups, no allocation (the E18
+// allocs/op gate covers this).
 type Metrics struct {
-	Requests  metrics.Counter // Verdict calls
-	TableHits metrics.Counter // answered by the generated table
-	Solves    metrics.Counter // miss-path engine executions
-	Cached    metrics.Counter // miss-path answers reused from flight/store
-	Errors    metrics.Counter // failed queries (either tier)
-	Sweeps    metrics.Counter // streaming sweep requests
+	Requests  *metrics.Counter // Verdict calls (verdictd_requests_total)
+	TableHits *metrics.Counter // answered by the generated table
+	Solves    *metrics.Counter // miss-path engine executions
+	Cached    *metrics.Counter // miss-path answers reused from flight/store
+	Errors    *metrics.Counter // failed queries (either tier)
+	Sweeps    *metrics.Counter // streaming sweep requests
 }
 
 // Service answers verdict queries. Safe for concurrent use.
 type Service struct {
 	opts Options
+	reg  *metrics.Registry
 	met  Metrics
+
+	// Transport latency histograms, pre-resolved like the counters.
+	// Observing is mutex-and-array work — no allocation — but it still
+	// happens in the HTTP layer, outside the Verdict hot path.
+	hitLat  *metrics.QuantileHist
+	missLat *metrics.QuantileHist
 
 	mu      sync.Mutex
 	engines map[string]*engine
@@ -152,11 +163,33 @@ func NewService(opts Options) (*Service, error) {
 	if _, err := core.ByName(opts.DefaultAlg); err != nil {
 		return nil, fmt.Errorf("%w %q", ErrUnknownAlgorithm, opts.DefaultAlg)
 	}
-	return &Service{opts: opts, engines: map[string]*engine{}}, nil
+	reg := metrics.NewRegistry()
+	s := &Service{
+		opts: opts,
+		reg:  reg,
+		met: Metrics{
+			Requests:  reg.Counter("verdictd_requests_total"),
+			TableHits: reg.Counter("verdictd_table_hits_total"),
+			Solves:    reg.Counter("verdictd_solves_total"),
+			Cached:    reg.Counter("verdictd_cached_total"),
+			Errors:    reg.Counter("verdictd_errors_total"),
+			Sweeps:    reg.Counter("verdictd_sweeps_total"),
+		},
+		hitLat:  reg.Histogram("verdictd_hit_latency_us"),
+		missLat: reg.Histogram("verdictd_miss_latency_us"),
+		engines: map[string]*engine{},
+	}
+	reg.GaugeFunc("verdictd_table_patterns", func() int64 { return int64(TableLen()) })
+	return s, nil
 }
 
 // Metrics returns the serving counters.
 func (s *Service) Metrics() *Metrics { return &s.met }
+
+// Registry returns the Service's metrics registry — the /metrics
+// exposition source, and the hook for embedding callers (cmd/verdictd,
+// tests) to add their own series to the same page.
+func (s *Service) Registry() *metrics.Registry { return s.reg }
 
 // Options returns the normalized options the Service runs with.
 func (s *Service) Options() Options { return s.opts }
@@ -257,6 +290,15 @@ func (s *Service) engine(algName string) (*engine, error) {
 		flight:   memo.NewFlight(memo.NewStore[Record]()),
 	}
 	s.engines[algName] = e
+	// Live views over the engine's two stores: the sim outcome memo
+	// (configuration-graph facts) and the flight's verdict store
+	// (completed Records). Gauge functions read the stores' atomics at
+	// exposition time — always current, no write-path cost.
+	outcomes, flight := e.outcomes, e.flight.Store()
+	s.reg.GaugeFunc("verdictd_memo_hits", outcomes.Hits, "alg", algName)
+	s.reg.GaugeFunc("verdictd_memo_misses", outcomes.Misses, "alg", algName)
+	s.reg.GaugeFunc("verdictd_memo_states", outcomes.Created, "alg", algName)
+	s.reg.GaugeFunc("verdictd_flight_records", flight.Created, "alg", algName)
 	return e, nil
 }
 

@@ -21,7 +21,7 @@ import (
 func normalize(r *sweep.Report) sweep.Report {
 	c := *r
 	c.PeakPending = 0
-	c.MemoHits, c.MemoMisses, c.StatesCreated = 0, 0, 0
+	c.Memo = memo.Stats{}
 	return c
 }
 
@@ -55,14 +55,14 @@ func TestMemoizedSweepBitIdentical(t *testing.T) {
 			if !reflect.DeepEqual(direct, memod) {
 				t.Fatalf("n=%d workers=%d: memoized report diverges:\ndirect %+v\nmemo   %+v", n, workers, direct, memod)
 			}
-			if stats.MemoHits == 0 || stats.MemoHits+stats.MemoMisses == 0 {
+			if stats.Memo.Hits == 0 || stats.Memo.Lookups() == 0 {
 				t.Fatalf("n=%d workers=%d: store unused: hits=%d misses=%d created=%d",
-					n, workers, stats.MemoHits, stats.MemoMisses, stats.StatesCreated)
+					n, workers, stats.Memo.Hits, stats.Memo.Misses, stats.Memo.Created)
 			}
-			if workers > 1 && stats.StatesCreated != 0 {
+			if workers > 1 && stats.Memo.Created != 0 {
 				// The first pass published every reachable outcome; warm
 				// passes may only read.
-				t.Fatalf("n=%d workers=%d: warm sweep created %d states", n, workers, stats.StatesCreated)
+				t.Fatalf("n=%d workers=%d: warm sweep created %d states", n, workers, stats.Memo.Created)
 			}
 		}
 	}
@@ -85,7 +85,7 @@ func TestMemoizedSweepCENT(t *testing.T) {
 		if !reflect.DeepEqual(normalize(d), normalize(m)) {
 			t.Fatalf("workers=%d: memoized CENT report diverges:\ndirect %s\nmemo   %s", workers, d, m)
 		}
-		if m.MemoHits == 0 {
+		if m.Memo.Hits == 0 {
 			t.Fatalf("workers=%d: CENT sweep never hit the store", workers)
 		}
 	}
@@ -113,7 +113,7 @@ func TestMemoizedSweepSSYNC(t *testing.T) {
 	if !reflect.DeepEqual(normalize(d), normalize(m)) {
 		t.Fatalf("memoized SSYNC report diverges:\ndirect %s\nmemo   %s", d, m)
 	}
-	if m.MemoHits == 0 {
+	if m.Memo.Hits == 0 {
 		t.Fatal("SSYNC sweep never consulted the warm FSYNC store")
 	}
 }

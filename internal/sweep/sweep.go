@@ -40,6 +40,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/memo"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -108,6 +109,12 @@ type Spec struct {
 	// called from the aggregation goroutine, in order, never
 	// concurrently.
 	Progress func(done, total int)
+	// Metrics, when non-nil, receives the sweep's throughput series:
+	// sweep_runs_total counts delivered runs, sweep_pending_high_water
+	// tracks the reorder-buffer high-water mark (the dispatch window's
+	// constant-memory claim, live). Purely observational — reports are
+	// bit-identical with or without it.
+	Metrics *metrics.Registry
 	// Adversary switches the sweep from scheduler runs to exact
 	// adversarial decision (experiments E13/E14): each pattern is
 	// handed to internal/adversary — heuristic pre-filter schedulers
@@ -206,17 +213,15 @@ type Report struct {
 	// is excluded from JSON to keep serialized reports bit-identical
 	// across runs and worker counts.
 	PeakPending int `json:"-"`
-	// MemoHits / MemoMisses / StatesCreated are the outcome store's
-	// counter deltas over this sweep (zero without Spec.OutcomeMemo):
-	// how many store consultations hit, how many missed, and how many
-	// distinct configuration outcomes the sweep added. Like
-	// PeakPending they are scheduling-dependent diagnostics (which
-	// worker walks a shared suffix first is a race the results are
-	// proof against), so they are excluded from JSON to keep
-	// serialized reports bit-identical across runs and worker counts.
-	MemoHits      int64 `json:"-"`
-	MemoMisses    int64 `json:"-"`
-	StatesCreated int64 `json:"-"`
+	// Memo is the outcome store's counter deltas over this sweep (zero
+	// without Spec.OutcomeMemo): how many store consultations hit, how
+	// many missed, and how many distinct configuration outcomes the
+	// sweep added. Like PeakPending they are scheduling-dependent
+	// diagnostics (which worker walks a shared suffix first is a race
+	// the results are proof against), so they are excluded from JSON to
+	// keep serialized reports bit-identical across runs and worker
+	// counts.
+	Memo memo.Stats `json:"-"`
 	// Cases lists per-run results in Index order when Spec.KeepCases
 	// was set; nil otherwise. Excluded from JSON — stream them with
 	// Stream instead of retaining.
@@ -378,9 +383,9 @@ func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Repo
 
 	// Counter snapshots, not absolute values: the store may arrive warm
 	// from an earlier sweep, and the Report describes this sweep only.
-	var baseHits, baseMisses, baseCreated int64
+	var memoBase memo.Stats
 	if spec.OutcomeMemo != nil {
-		baseHits, baseMisses, baseCreated = spec.OutcomeMemo.Hits(), spec.OutcomeMemo.Misses(), spec.OutcomeMemo.Created()
+		memoBase = spec.OutcomeMemo.Stats()
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -471,6 +476,10 @@ func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Repo
 	pending := make(map[int]CaseResult, spec.Workers)
 	next := 0
 	peak := 0
+	// Nil-safe registry accessors: without Spec.Metrics these resolve
+	// to live throwaway metrics, so the loop stays branch-free.
+	runsMetric := spec.Metrics.Counter("sweep_runs_total")
+	pendingHW := spec.Metrics.Gauge("sweep_pending_high_water")
 	var verr error
 	for cr := range results {
 		if verr != nil || ctx.Err() != nil {
@@ -479,6 +488,7 @@ func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Repo
 		pending[cr.Index] = cr
 		if len(pending) > peak {
 			peak = len(pending)
+			pendingHW.SetMax(int64(peak))
 		}
 		for {
 			r, ok := pending[next]
@@ -488,6 +498,7 @@ func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Repo
 			delete(pending, next)
 			next++
 			<-tokens // return the dispatch-window slot
+			runsMetric.Inc()
 			agg.Absorb(r)
 			if visit != nil {
 				if err := visit(r); err != nil {
@@ -510,9 +521,7 @@ func Stream(ctx context.Context, spec Spec, visit func(CaseResult) error) (*Repo
 	report := agg.Finish()
 	report.PeakPending = peak
 	if spec.OutcomeMemo != nil {
-		report.MemoHits = spec.OutcomeMemo.Hits() - baseHits
-		report.MemoMisses = spec.OutcomeMemo.Misses() - baseMisses
-		report.StatesCreated = spec.OutcomeMemo.Created() - baseCreated
+		report.Memo = spec.OutcomeMemo.Stats().Sub(memoBase)
 	}
 	return report, nil
 }
@@ -554,6 +563,7 @@ func streamAdversary(ctx context.Context, spec Spec, visit func(CaseResult) erro
 	agg := &verdictAgg{
 		spec:  spec,
 		visit: visit,
+		runs:  spec.Metrics.Counter("sweep_runs_total"),
 		report: &Report{
 			Algorithm: opts.Alg.Name(),
 			Scheduler: "adversary",
@@ -591,7 +601,7 @@ func streamAdversary(ctx context.Context, spec Spec, visit func(CaseResult) erro
 	}
 	report := agg.report
 	report.SolverStates = adv.StatesExplored()
-	report.StatesCreated, report.MemoHits, report.MemoMisses = adv.MemoStats()
+	report.Memo = adv.MemoStats()
 	if cerr != nil {
 		return nil, cerr
 	}
@@ -630,10 +640,12 @@ type verdictAgg struct {
 	spec                         Spec
 	report                       *Report
 	visit                        func(CaseResult) error
+	runs                         *metrics.Counter
 	defeats, sumRounds, sumMoves int
 }
 
 func (a *verdictAgg) absorb(cr CaseResult) error {
+	a.runs.Inc()
 	report := a.report
 	switch cr.Verdict.Kind {
 	case adversary.Safe:
