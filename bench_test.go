@@ -18,6 +18,9 @@
 //	E15 BenchmarkE15_N9Sweep             — the exact n = 9 FSYNC map
 //	E17 BenchmarkE17_DistOverhead        — distributed-sweep coordination cost
 //	E18 BenchmarkE18_VerdictService      — verdict-service hit path (O(1), 0 allocs)
+//	E20 BenchmarkE20_N10Sweep            — the full n = 10 FSYNC map
+//	E20 BenchmarkE20_EnumerateN10Key     — key-native n = 10 enumeration
+//	E20 BenchmarkE20_EnumerateN10Legacy  — the materializing engine it replaced
 //
 // Run all of them with: go test -bench=. -benchmem .
 package repro
@@ -332,6 +335,75 @@ func BenchmarkE15_N9Sweep(b *testing.B) {
 		b.ReportMetric(float64(rep.ByStatus[sim.Livelock]), "livelock")
 		b.ReportMetric(float64(rep.MaxRounds), "max-rounds")
 		b.ReportMetric(float64(rep.Memo.Created), "states")
+	}
+}
+
+// BenchmarkE20_N10Sweep is the full n = 10 FSYNC map (E20): the
+// seven-robot algorithm on every connected 10-robot pattern — all
+// 362671 of them — against the generalized minimum-diameter goal.
+// Like E15 it times building the whole map from a fresh outcome store;
+// unlike E15 the space itself only exists as a routine benchmark
+// because the key-native enumeration serves it (the materializing
+// engine spent multiples of the sweep's own time just listing the
+// patterns — see the EnumerateN10 pair below for the measured ratio).
+// The breakdown (94158 gathered / 213492 stalled / 42434 livelock /
+// 8810 collision / 3777 disconnected, no round-limits) is pinned here
+// and tested in e20_test.go; stalls now claim a 58.9% majority of the
+// space, the E15 stall explosion continuing through a second size.
+func BenchmarkE20_N10Sweep(b *testing.B) {
+	cache := core.NewMemo()
+	for i := 0; i < b.N; i++ {
+		rep, err := sweep.Run(context.Background(), sweep.Spec{
+			N:           10,
+			Cache:       cache,
+			OutcomeMemo: memo.NewOutcomes(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Total != enumerate.KnownCounts[10] {
+			b.Fatalf("enumerated %d patterns, want %d", rep.Total, enumerate.KnownCounts[10])
+		}
+		if rep.Gathered() != 94158 || rep.ByStatus[sim.Stalled] != 213492 ||
+			rep.ByStatus[sim.Livelock] != 42434 || rep.ByStatus[sim.Collision] != 8810 ||
+			rep.ByStatus[sim.Disconnected] != 3777 || rep.ByStatus[sim.RoundLimit] != 0 {
+			b.Fatalf("n=10 map diverged from the pinned breakdown: %s", rep)
+		}
+		b.ReportMetric(float64(rep.Gathered()), "gathered")
+		b.ReportMetric(float64(rep.ByStatus[sim.Stalled]), "stalled")
+		b.ReportMetric(float64(rep.ByStatus[sim.Livelock]), "livelock")
+		b.ReportMetric(float64(rep.MaxRounds), "max-rounds")
+		b.ReportMetric(float64(rep.Memo.Created), "states")
+	}
+}
+
+// BenchmarkE20_EnumerateN10Key is the tentpole measurement: the key-native
+// engine enumerating the 362671-pattern n = 10 space. Frontier
+// generations are packed-key sets — a duplicate candidate costs a
+// probe of a flat open-addressed table and no allocation — and the
+// result materializes into one contiguous node array at the end.
+// Judge it against BenchmarkE20_EnumerateN10Legacy below: the
+// acceptance floor for the rewrite was ≥ 3× ns/op and ≥ 5× allocs/op.
+func BenchmarkE20_EnumerateN10Key(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := len(enumerate.Connected(10)); got != enumerate.KnownCounts[10] {
+			b.Fatalf("enumerated %d patterns, want %d", got, enumerate.KnownCounts[10])
+		}
+	}
+}
+
+// BenchmarkE20_EnumerateN10Legacy is the engine the key-native path
+// replaced — a config.Config per pattern per generation, builtin maps,
+// sort.Slice over configs — kept runnable as the differential
+// reference so the before/after ratio stays visible in every bench
+// run rather than fossilizing in a doc.
+func BenchmarkE20_EnumerateN10Legacy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := len(enumerate.ConnectedLegacy(10)); got != enumerate.KnownCounts[10] {
+			b.Fatalf("enumerated %d patterns, want %d", got, enumerate.KnownCounts[10])
+		}
 	}
 }
 

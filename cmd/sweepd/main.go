@@ -24,16 +24,25 @@
 // shards merge atomically only after their trailing summary verifies,
 // so a crash can never corrupt the aggregate.
 //
+// With -index the coordinator and every worker load pre-built pattern
+// indexes (cmd/enumgen artifacts, sha256-verified at load): planning
+// reads the pattern count off the index and each worker seeks straight
+// to its shard's [lo, hi) in the flat key array instead of
+// re-enumerating the space per process — the startup cost that
+// dominated n ≥ 9 fleets. Reports are bit-identical with and without
+// an index (the CI dist job proves it at n = 8).
+//
 // Usage:
 //
 //	sweepd run [-alg full|...] [-n 7] [-range 1] [-sched fsync|ssync|cent]
 //	           [-seeds 1] [-max-rounds N] [-shards S] [-workers W]
 //	           [-retries R] [-backoff D] [-checkpoint F] [-backend proc|inproc]
 //	           [-json] [-progress] [-allow-failures] [-metrics-addr A]
+//	           [-index F,...]
 //	sweepd resume -checkpoint F [-workers W] [-retries R] [-backoff D]
 //	           [-backend proc|inproc] [-json] [-progress] [-allow-failures]
-//	           [-metrics-addr A]
-//	sweepd serve [-pprof A]
+//	           [-metrics-addr A] [-index F,...]
+//	sweepd serve [-pprof A] [-index F,...]
 //
 // Exit status mirrors cmd/verify: 0 when every run gathered or
 // -allow-failures was given, 1 when the sweep completed with
@@ -52,6 +61,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cliflags"
@@ -115,6 +125,7 @@ type orch struct {
 	progress    *bool
 	allowFail   *bool
 	metricsAddr *string
+	index       *string
 }
 
 func orchFlags(fs *flag.FlagSet) *orch {
@@ -130,7 +141,27 @@ func orchFlags(fs *flag.FlagSet) *orch {
 		allowFail:  fs.Bool("allow-failures", false, "exit 0 even when the sweep does not fully gather"),
 		metricsAddr: fs.String("metrics-addr", "",
 			"serve the coordinator's /metrics (and /debug/pprof) on this address while the run is live"),
+		index: fs.String("index", "",
+			"comma-separated pattern-index files (cmd/enumgen): the coordinator plans off them and proc workers seek shards straight out of them, no per-worker re-enumeration"),
 	}
+}
+
+// loadIndexes parses the -index flag into a verified IndexSet (nil
+// when the flag is empty).
+func loadIndexes(spec string) (*sweep.IndexSet, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	set := &sweep.IndexSet{}
+	for _, path := range strings.Split(spec, ",") {
+		if path = strings.TrimSpace(path); path == "" {
+			continue
+		}
+		if err := set.Load(path); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
 }
 
 func (o *orch) options() (dist.Options, error) {
@@ -141,15 +172,26 @@ func (o *orch) options() (dist.Options, error) {
 		Backoff:        *o.backoff,
 		CheckpointPath: *o.checkpoint,
 	}
+	set, err := loadIndexes(*o.index)
+	if err != nil {
+		return opts, fmt.Errorf("sweepd: loading pattern index: %v", err)
+	}
+	opts.Sources = set
 	switch *o.backend {
 	case "proc":
 		exe, err := os.Executable()
 		if err != nil {
 			return opts, fmt.Errorf("sweepd: resolving own binary for worker processes: %v", err)
 		}
-		opts.Backend = &dist.ProcBackend{Argv: []string{exe, "serve"}, Stderr: os.Stderr}
+		argv := []string{exe, "serve"}
+		if *o.index != "" {
+			// Workers verify and load the same artifacts themselves —
+			// the files, not this process's memory, are the shared truth.
+			argv = append(argv, "-index", *o.index)
+		}
+		opts.Backend = &dist.ProcBackend{Argv: argv, Stderr: os.Stderr}
 	case "inproc":
-		opts.Backend = dist.InprocBackend{}
+		opts.Backend = dist.InprocBackend{Sources: set}
 	default:
 		return opts, fmt.Errorf("sweepd: unknown backend %q (want proc or inproc)", *o.backend)
 	}
@@ -255,8 +297,14 @@ func cmdResume(args []string) {
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("sweepd serve", flag.ExitOnError)
 	pprofAddr := fs.String("pprof", "", "serve this worker's /metrics and /debug/pprof on this address (off when empty)")
+	index := fs.String("index", "", "comma-separated pattern-index files (cmd/enumgen) to seek shards from instead of re-enumerating")
 	fs.Parse(args)
-	st := &dist.WorkerState{}
+	set, err := loadIndexes(*index)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweepd serve: loading pattern index: %v\n", err)
+		os.Exit(2)
+	}
+	st := &dist.WorkerState{Sources: set}
 	if *pprofAddr != "" {
 		st.Metrics = metrics.NewRegistry()
 		if err := serveMetrics(*pprofAddr, st.Metrics); err != nil {

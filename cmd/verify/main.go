@@ -46,6 +46,10 @@
 //	              cases with full-sweep global indices, trailing shard
 //	              summary — on stdout. Gathering failures do not affect
 //	              the exit status (the coordinator owns the verdict)
+//	-index F,...  serve the sweep space from pre-built pattern-index
+//	              artifacts (cmd/enumgen, sha256-verified at load)
+//	              instead of enumerating it; in -worker mode the shard
+//	              seeks straight to [LO, HI) in the flat key array
 //	-stats        print rounds histogram and per-diameter table
 //	-classes      print the failure taxonomy (status × initial diameter)
 //
@@ -72,6 +76,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/adversary"
 	"repro/internal/cliflags"
@@ -99,6 +104,7 @@ func main() {
 	workerRange := flag.String("worker", "", "worker mode: execute only the source-range shard LO:HI and emit the framed JSONL stream (header, cases, shard summary) on stdout")
 	allowFailures := flag.Bool("allow-failures", false, "exit 0 even when the sweep does not fully gather")
 	progress := flag.Bool("progress", false, "report sweep progress on stderr")
+	indexPath := flag.String("index", "", "comma-separated pattern-index files (cmd/enumgen): serve the sweep space from the artifact instead of enumerating")
 	flag.Usage = func() {
 		fmt.Fprint(flag.CommandLine.Output(), `usage: verify [flags]
 
@@ -166,6 +172,20 @@ Flags:
 		os.Exit(2)
 	}
 
+	var indexSet *sweep.IndexSet
+	if *indexPath != "" {
+		indexSet = &sweep.IndexSet{}
+		for _, p := range strings.Split(*indexPath, ",") {
+			if p = strings.TrimSpace(p); p == "" {
+				continue
+			}
+			if err := indexSet.Load(p); err != nil {
+				fmt.Fprintf(os.Stderr, "verify: loading pattern index: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	}
+
 	// Worker mode: one shard of a distributed sweep, framed JSONL on
 	// stdout (internal/dist wire format), nothing else. The coordinator
 	// aggregates, so every report/exit-code flag is inapplicable.
@@ -179,7 +199,11 @@ Flags:
 			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
 			os.Exit(2)
 		}
-		if err := dist.RunShard(context.Background(), shared.Desc(), shard, os.Stdout, nil); err != nil {
+		var st *dist.WorkerState
+		if indexSet != nil {
+			st = &dist.WorkerState{Sources: indexSet}
+		}
+		if err := dist.RunShard(context.Background(), shared.Desc(), shard, os.Stdout, st); err != nil {
 			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
 			os.Exit(2)
 		}
@@ -237,6 +261,8 @@ Flags:
 	}
 	if *visRange > 1 {
 		spec.Source = sweep.ConnectedWithin(*n, *visRange)
+	} else if src, ok := indexSet.SourceFor(shared.Desc()); ok {
+		spec.Source = src
 	}
 	if *memoOn && spec.Adversary == nil {
 		spec.OutcomeMemo = memo.NewOutcomes()

@@ -8,6 +8,8 @@ import (
 	"io"
 	"os/exec"
 	"sync"
+
+	"repro/internal/sweep"
 )
 
 // Backend starts worker nodes — the pluggable seam of the testbed,
@@ -41,12 +43,17 @@ type Worker interface {
 // wire encode/decode path the process backends use (RunShard piped
 // into ReadShard) — so tests and benchmarks of the coordinator
 // exercise the real protocol without spawning processes.
-type InprocBackend struct{}
+type InprocBackend struct {
+	// Sources, when non-nil, seeds every worker's WorkerState with the
+	// loaded pattern indexes — the in-process mirror of `sweepd serve
+	// -index`.
+	Sources *sweep.IndexSet
+}
 
 func (InprocBackend) Name() string { return "inproc" }
 
-func (InprocBackend) Start(ctx context.Context) (Worker, error) {
-	return &inprocWorker{st: &WorkerState{}}, nil
+func (b InprocBackend) Start(ctx context.Context) (Worker, error) {
+	return &inprocWorker{st: &WorkerState{Sources: b.Sources}}, nil
 }
 
 type inprocWorker struct {

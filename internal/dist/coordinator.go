@@ -44,8 +44,16 @@ type Options struct {
 	// without it.
 	Metrics *metrics.Registry
 	// Log, when non-nil, receives coordinator events: worker crashes,
-	// re-queues, retries. Results never flow through it.
+	// re-queues, retries, source resolution. Results never flow through
+	// it.
 	Log func(format string, args ...any)
+	// Sources, when non-nil, holds loaded pattern indexes (enumgen
+	// artifacts). When one covers the sweep's space, planning reads the
+	// pattern count straight off the index — the coordinator never
+	// enumerates — and the sweep is bit-identical either way. Workers
+	// carry their own set (WorkerState.Sources / `sweepd serve
+	// -index`); this one only serves the coordinator's plan.
+	Sources *sweep.IndexSet
 }
 
 func (o *Options) defaults() error {
@@ -89,7 +97,7 @@ func Run(ctx context.Context, opts Options) (*sweep.Report, error) {
 			return nil, fmt.Errorf("dist: checkpoint %s already exists (resume it, or remove it for a fresh run)", opts.CheckpointPath)
 		}
 	}
-	meta, err := opts.Spec.Meta()
+	meta, err := planMeta(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +145,7 @@ func Resume(ctx context.Context, opts Options) (*sweep.Report, error) {
 		return nil, err
 	}
 	opts.Spec = ck.Spec
-	meta, err := ck.Spec.Meta()
+	meta, err := planMeta(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -149,6 +157,32 @@ func Resume(ctx context.Context, opts Options) (*sweep.Report, error) {
 		return nil, err
 	}
 	return run(ctx, opts, meta, ck, agg, ck.Remaining())
+}
+
+// planMeta resolves the sweep's source — pattern index when
+// opts.Sources covers the space, live enumeration otherwise — and
+// builds the report header the plan partitions. Either way the
+// resolution is surfaced: an index seek logs and counts as
+// coordinator_index_seeks_total; an enumeration publishes its enum_*
+// statistics and logs its throughput line.
+func planMeta(opts Options) (sweep.Meta, error) {
+	spec, err := opts.Spec.SpecWith(opts.Sources)
+	if err != nil {
+		return sweep.Meta{}, err
+	}
+	meta := opts.Spec.MetaFor(spec) // forces Count: O(1) from an index
+	if _, indexed := opts.Sources.SourceFor(opts.Spec); indexed {
+		opts.Metrics.Counter("coordinator_index_seeks_total").Inc()
+		opts.Log("dist: source %s: %d patterns from index (no enumeration)", meta.Source, meta.Patterns)
+	} else if ss, ok := spec.Source.(sweep.EnumStatsSource); ok {
+		if es, built := ss.EnumStats(); built {
+			recordEnumStats(opts.Metrics, es)
+			opts.Log("dist: enumerated %s: %d patterns in %.2fs (%.0f patterns/s, dedup hit rate %.3f, peak frontier %d)",
+				meta.Source, es.Patterns, float64(es.DurationUS)/1e6,
+				es.PatternsPerSec(), es.DedupHitRate(), es.PeakFrontier)
+		}
+	}
+	return meta, nil
 }
 
 // Progress is one coordinator progress sample, delivered after every

@@ -1,0 +1,141 @@
+package dist_test
+
+// The pattern-index contract at the dist layer: a worker handed a
+// loaded index seeks its shard straight out of the flat key array —
+// no enumeration runs in that worker — and the stream it emits is
+// byte-identical to an enumerating worker's, so a fleet can mix
+// index-seeded and enumerating workers freely.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/enumerate"
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+)
+
+func indexSetFor(t *testing.T, n int) *sweep.IndexSet {
+	t.Helper()
+	ix, _ := enumerate.BuildIndex(n, 1)
+	set := &sweep.IndexSet{}
+	set.Add(ix)
+	return set
+}
+
+// TestRunShardIndexSeeded: same descriptor, same shard, one worker
+// enumerating and one seeking the index — byte-identical streams, and
+// the metrics prove which path ran: the seek counter ticks, and the
+// enum_* series stay untouched because no enumeration happened.
+func TestRunShardIndexSeeded(t *testing.T) {
+	d := sweep.SpecDesc{N: 6}
+	shard := sweep.Range{Lo: 300, Hi: 420}
+	ctx := context.Background()
+
+	var plain bytes.Buffer
+	if err := dist.RunShard(ctx, d, shard, &plain, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	st := &dist.WorkerState{Sources: indexSetFor(t, 6), Metrics: reg}
+	var seeded bytes.Buffer
+	if err := dist.RunShard(ctx, d, shard, &seeded, st); err != nil {
+		t.Fatal(err)
+	}
+
+	compareShardStreams(t, "index-seeded", plain.Bytes(), seeded.Bytes())
+	if got := reg.Counter("worker_index_seeks_total").Value(); got != 1 {
+		t.Fatalf("worker_index_seeks_total = %d, want 1", got)
+	}
+	if got := reg.Gauge("enum_patterns").Value(); got != 0 {
+		t.Fatalf("enum_patterns = %d on an index-seeded worker — it enumerated", got)
+	}
+
+	// The uncovered space takes the enumerating path and says so.
+	reg2 := metrics.NewRegistry()
+	st2 := &dist.WorkerState{Sources: indexSetFor(t, 5), Metrics: reg2}
+	var other bytes.Buffer
+	if err := dist.RunShard(ctx, d, shard, &other, st2); err != nil {
+		t.Fatal(err)
+	}
+	compareShardStreams(t, "non-covering-index", plain.Bytes(), other.Bytes())
+	if got := reg2.Counter("worker_index_seeks_total").Value(); got != 0 {
+		t.Fatalf("worker_index_seeks_total = %d for an uncovered space, want 0", got)
+	}
+	if got := reg2.Gauge("enum_patterns").Value(); got != int64(enumerate.KnownCounts[6]) {
+		t.Fatalf("enum_patterns = %d, want %d", got, enumerate.KnownCounts[6])
+	}
+}
+
+// compareShardStreams asserts two shard streams carry the same results:
+// header and every case line byte-identical, and the trailing summaries
+// equal once the wall-clock stats block (duration, throughput — the
+// only timing-dependent bytes in the protocol) is dropped.
+func compareShardStreams(t *testing.T, name string, a, b []byte) {
+	t.Helper()
+	la := bytes.Split(bytes.TrimSpace(a), []byte("\n"))
+	lb := bytes.Split(bytes.TrimSpace(b), []byte("\n"))
+	if len(la) != len(lb) {
+		t.Fatalf("%s: %d stream lines vs %d", name, len(la), len(lb))
+	}
+	for i := 0; i < len(la)-1; i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			t.Fatalf("%s: stream line %d differs:\n%s\nvs\n%s", name, i, la[i], lb[i])
+		}
+	}
+	var sa, sb map[string]json.RawMessage
+	if err := json.Unmarshal(la[len(la)-1], &sa); err != nil {
+		t.Fatalf("%s: summary: %v", name, err)
+	}
+	if err := json.Unmarshal(lb[len(lb)-1], &sb); err != nil {
+		t.Fatalf("%s: summary: %v", name, err)
+	}
+	delete(sa, "stats")
+	delete(sb, "stats")
+	ja, _ := json.Marshal(sa)
+	jb, _ := json.Marshal(sb)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("%s: summaries differ:\n%s\nvs\n%s", name, ja, jb)
+	}
+}
+
+// TestCoordinatorWithIndex: a full distributed run planned and executed
+// off the index merges to the same report as one that enumerates —
+// coordinator planning, worker seeking, and the checkpointless merge
+// all agree on what "pattern i" means.
+func TestCoordinatorWithIndex(t *testing.T) {
+	d := sweep.SpecDesc{N: 6}
+	ctx := context.Background()
+
+	base, err := dist.Run(ctx, dist.Options{
+		Spec: d, Shards: 5, Workers: 2, Backend: dist.InprocBackend{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	set := indexSetFor(t, 6)
+	reg := metrics.NewRegistry()
+	seeded, err := dist.Run(ctx, dist.Options{
+		Spec: d, Shards: 5, Workers: 2,
+		Backend: dist.InprocBackend{Sources: set},
+		Sources: set,
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := json.Marshal(base)
+	b, _ := json.Marshal(seeded)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("index-planned report differs:\n%s\nvs\n%s", a, b)
+	}
+	if got := reg.Counter("coordinator_index_seeks_total").Value(); got != 1 {
+		t.Fatalf("coordinator_index_seeks_total = %d, want 1", got)
+	}
+}

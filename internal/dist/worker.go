@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/enumerate"
 	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/sweep"
@@ -35,10 +36,17 @@ type WorkerState struct {
 	outcomes *memo.Outcomes
 
 	// Metrics, when non-nil, receives the worker's own series —
-	// worker_shards_total, worker_shard_duration_us, plus the sweep
-	// engine's sweep_* series — for workers that expose a /metrics
-	// sidecar (sweepd serve -pprof, verdictd's /sweep handler).
+	// worker_shards_total, worker_shard_duration_us,
+	// worker_index_seeks_total, the enum_* enumeration series, plus the
+	// sweep engine's sweep_* series — for workers that expose a
+	// /metrics sidecar (sweepd serve -pprof, verdictd's /sweep handler).
 	Metrics *metrics.Registry
+
+	// Sources, when non-nil, holds loaded pattern indexes (enumgen
+	// artifacts). A unit whose space one covers seeks its shard straight
+	// out of the index — no per-shard re-enumeration, which at n ≥ 9 is
+	// most of a shard's startup time.
+	Sources *sweep.IndexSet
 }
 
 func (st *WorkerState) forSpec(d sweep.SpecDesc) (*core.Memo, *memo.Outcomes) {
@@ -69,12 +77,26 @@ func RunShard(ctx context.Context, d sweep.SpecDesc, shard sweep.Range, w io.Wri
 		return err
 	}
 	spec.Cache, spec.OutcomeMemo = st.forSpec(d)
+	indexed := false
 	if st != nil {
 		spec.Metrics = st.Metrics
+		if src, ok := st.Sources.SourceFor(d); ok {
+			spec.Source = src
+			indexed = true
+		}
 	}
 	full := spec.Source
 	if total := full.Count(); !shard.Valid(total) {
 		return fmt.Errorf("dist: shard %s out of range for %s (%d patterns)", shard, full.Label(), total)
+	}
+	if st != nil {
+		if indexed {
+			st.Metrics.Counter("worker_index_seeks_total").Inc()
+		} else if ss, ok := full.(sweep.EnumStatsSource); ok {
+			if es, built := ss.EnumStats(); built {
+				recordEnumStats(st.Metrics, es)
+			}
+		}
 	}
 	spec.Source = sweep.Shard(full, shard)
 
@@ -111,6 +133,18 @@ func RunShard(ctx context.Context, d sweep.SpecDesc, shard sweep.Range, w io.Wri
 		st.Metrics.Histogram("worker_shard_duration_us").Observe(stats.DurationUS)
 	}
 	return enc.Encode(Summary{EOF: true, Shard: shard, Cases: n, ByStatus: byStatus, Stats: stats})
+}
+
+// recordEnumStats publishes one enumeration's statistics to a
+// registry. The registry is integer-valued, so the dedup hit rate
+// lands in parts per million.
+func recordEnumStats(reg *metrics.Registry, es enumerate.Stats) {
+	reg.Gauge("enum_patterns").Set(int64(es.Patterns))
+	reg.Gauge("enum_candidates").Set(es.Candidates)
+	reg.Gauge("enum_peak_frontier").Set(int64(es.PeakFrontier))
+	reg.Gauge("enum_duration_us").Set(es.DurationUS)
+	reg.Gauge("enum_dedup_hit_rate_ppm").Set(int64(es.DedupHitRate() * 1e6))
+	reg.Gauge("enum_patterns_per_sec").Set(int64(es.PatternsPerSec()))
 }
 
 // Serve is the persistent worker loop behind `sweepd serve` and the

@@ -10,17 +10,21 @@
 // share a global compass, so differently oriented patterns are genuinely
 // different inputs.
 //
-// Deduplication runs on the packed engine's compact pattern keys: a
-// candidate extension is keyed without materializing it, so duplicate
-// candidates — the vast majority at the larger sizes — cost one integer
-// map probe and no allocation. The keys are two-tier
-// (config.Key64Nodes through n = 7, config.Key128Nodes through n = 14,
-// so the n = 8 extension space of E11 stays exact); patterns outside
-// both encodings fall back to string keys with identical semantics.
+// Enumeration is key-native (keys.go): frontier generations are
+// key-only sets — a candidate extension is keyed straight from the
+// growth scratch (config.Key64Nodes through n = 7, config.Key128Nodes
+// through n = 14) and deduplicated in a lock-striped shard set, so a
+// duplicate candidate costs one integer map probe and no allocation,
+// and a configuration is only rebuilt from its key
+// (config.FromKey128) when a caller visits it. The canonical output
+// order is ascending key order ("key/v1"), which coincides with the
+// config.Compare order the legacy engine emitted. That legacy
+// materializing engine (connectedMap below) is retained as the
+// differential reference and as the fallback past the exact-key
+// envelope.
 package enumerate
 
 import (
-	"runtime"
 	"sort"
 	"sync"
 
@@ -33,62 +37,95 @@ import (
 // The paper's exhaustive space is the n = 7 entry; the n = 8 entry is
 // the E11 extension sweep's. Every entry through n = 12 sits inside
 // the exact Key128 envelope (spread ≤ 15), so the two-tier dedup
-// reproduces these counts exactly; the tests cross-check n ≤ 10
-// routinely and n = 11, 12 behind ENUM_HEAVY=1 (minutes of CPU and
-// gigabytes of map).
+// reproduces these counts exactly; the tests cross-check n ≤ 10 under
+// -short, n = 11 routinely, and n = 12 behind ENUM_HEAVY=1 (a minute
+// of CPU and hundreds of megabytes of key set).
 var KnownCounts = [13]int{
 	0: 1, 1: 1, 2: 3, 3: 11, 4: 44, 5: 186, 6: 814, 7: 3652,
 	8: 16689, 9: 77359, 10: 362671, 11: 1716033, 12: 8182213,
 }
 
-// Connected returns all connected n-node configurations up to translation,
-// sorted by node list (config.Compare) so the output order is
-// deterministic. It grows patterns one node at a time, deduplicating by
-// compact key.
+// Connected returns all connected n-node configurations up to
+// translation, sorted by node list (config.Compare, which equals the
+// canonical "key/v1" key order) so the output order is deterministic.
+// It runs the key-native engine serially — frontier generations are
+// key-only sets, and the result is decoded into one contiguous node
+// array at the end; see ConnectedParallel for the fanned-out growth.
 func Connected(n int) []config.Config {
+	list, _ := ConnectedStats(n, 1)
+	return list
+}
+
+// ConnectedStats is Connected plus the growth loop's Stats (workers
+// ≤ 0 = GOMAXPROCS) — the instrumented entry the sweep layer threads
+// into its metrics registries.
+func ConnectedStats(n, workers int) ([]config.Config, Stats) {
+	checkSize(n)
+	if n == 0 {
+		return nil, Stats{}
+	}
+	if n > MaxKeyN {
+		list := connectedMap(n).sorted()
+		return list, Stats{Patterns: len(list)}
+	}
+	keys, stats := KeysStats(n, workers)
+	return materializeKeys(keys, n), stats
+}
+
+// ConnectedParallel is Connected with the growth step fanned out over a
+// worker pool (workers ≤ 0 = GOMAXPROCS). Results are identical (and
+// identically ordered) at every worker count.
+func ConnectedParallel(n, workers int) []config.Config {
+	checkSize(n)
+	if n == 0 {
+		return nil
+	}
+	if n > MaxKeyN {
+		workers = normWorkers(workers)
+		current := seedPatterns()
+		for size := 1; size < n; size++ {
+			current = growAllParallel(current, workers)
+		}
+		return current.sorted()
+	}
+	keys, _ := KeysStats(n, workers)
+	return materializeKeys(keys, n)
+}
+
+// Count returns the number of connected n-node patterns without
+// retaining, sorting, or materializing them: the growth loop runs on
+// key-only sets and only the final generation's size is read back. It
+// still enumerates — no closed form is known.
+func Count(n int) int {
+	checkSize(n)
+	if n == 0 {
+		return 0
+	}
+	if n > MaxKeyN {
+		return connectedMap(n).len()
+	}
+	return countKeys(n, 0)
+}
+
+// ConnectedLegacy is the previous materializing engine: the growth
+// loop stores a config.Config per pattern per generation and sorts
+// with sort.Slice over configs. It is retained as the differential
+// reference for the key-native path — the equivalence tests and the
+// E20 before/after benchmark run both engines — and as the fallback
+// past the exact-key envelope.
+func ConnectedLegacy(n int) []config.Config {
+	checkSize(n)
 	if n == 0 {
 		return nil
 	}
 	return connectedMap(n).sorted()
 }
 
-// ConnectedParallel is Connected with the growth step fanned out over a
-// worker pool. Results are identical (and identically ordered); it exists
-// for the benchmark harness and for callers enumerating many sizes.
-func ConnectedParallel(n, workers int) []config.Config {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if n <= 0 {
-		if n < 0 {
-			panic("enumerate: negative size")
-		}
-		return nil
-	}
-	current := seedPatterns()
-	for size := 1; size < n; size++ {
-		current = growAllParallel(current, workers)
-	}
-	return current.sorted()
-}
-
-// Count returns the number of connected n-node patterns without retaining
-// them all; it still enumerates (no closed form is known) but avoids the
-// final sort.
-func Count(n int) int {
-	if n == 0 {
-		return 0
-	}
-	return connectedMap(n).len()
-}
-
-// connectedMap grows the connected patterns of size n serially; both
-// Connected and Count (and the parallel fallback, via growAll) run on
-// this one loop.
+// connectedMap grows the connected patterns of size n serially on the
+// legacy materializing loop; ConnectedLegacy, the relaxed-connectivity
+// spaces (relaxed.go), and the past-envelope fallbacks run on it.
 func connectedMap(n int) *patternMap {
-	if n < 0 {
-		panic("enumerate: negative size")
-	}
+	checkSize(n)
 	current := seedPatterns()
 	var scr growScratch
 	for size := 1; size < n; size++ {

@@ -20,16 +20,17 @@ func TestPolyhexCounts(t *testing.T) {
 }
 
 // TestKnownCountsTwoTier cross-checks the extended KnownCounts table
-// (through n = 12, OEIS A001207) against the two-tier compact-key
-// enumeration. Every size through 12 is inside the exact Key128
-// envelope, so a count mismatch means a dedup bug, not a key
-// collision. Sizes 8–9 run always (~1 s), 10 outside -short (~6 s);
-// 11 and 12 need minutes of CPU and gigabytes of map, so they hide
-// behind ENUM_HEAVY=1 — run them when touching the key or dedup code.
+// (through n = 12, OEIS A001207) against the key-native enumeration.
+// Every size through 12 is inside the exact Key128 envelope, so a
+// count mismatch means a dedup bug, not a key collision. The
+// key-native engine moved the tiers down a weight class: 8–10 run
+// even under -short (~0.6 s), 11 is routine (~3 s), and only 12
+// (~20 s of CPU and a ≈131 MB key set) stays behind ENUM_HEAVY=1 —
+// run it when touching the key or dedup code.
 func TestKnownCountsTwoTier(t *testing.T) {
-	top := 9
+	top := 10
 	if !testing.Short() {
-		top = 10
+		top = 11
 	}
 	if os.Getenv("ENUM_HEAVY") != "" {
 		top = 12

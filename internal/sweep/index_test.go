@@ -1,0 +1,104 @@
+package sweep_test
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/enumerate"
+	"repro/internal/sweep"
+)
+
+// TestConnectedIndexEqualsConnected: the indexed source is the same
+// sweep space as live enumeration — same label (so the same report
+// headers), same count, same patterns at the same indices.
+func TestConnectedIndexEqualsConnected(t *testing.T) {
+	ix, _ := enumerate.BuildIndex(7, 1)
+	idx := sweep.ConnectedIndex(ix)
+	live := sweep.Connected(7)
+	if idx.Label() != live.Label() {
+		t.Fatalf("index label %q, live label %q", idx.Label(), live.Label())
+	}
+	if idx.Count() != live.Count() {
+		t.Fatalf("index count %d, live count %d", idx.Count(), live.Count())
+	}
+	want := enumerate.Connected(7)
+	idx.Each(func(i int, c config.Config) bool {
+		if c.Compare(want[i]) != 0 {
+			t.Fatalf("index pattern %d is %s, enumeration has %s", i, c.Key(), want[i].Key())
+		}
+		return true
+	})
+}
+
+// countingSource wraps a RangeSource and records which global indices
+// were actually decoded — the probe that proves Shard seeks instead of
+// scanning the prefix.
+type countingSource struct {
+	sweep.RangeSource
+	visited []int
+}
+
+func (s *countingSource) Each(visit func(int, config.Config) bool) {
+	s.EachRange(sweep.Range{Lo: 0, Hi: s.Count()}, visit)
+}
+
+func (s *countingSource) EachRange(r sweep.Range, visit func(int, config.Config) bool) {
+	s.RangeSource.EachRange(r, func(i int, c config.Config) bool {
+		s.visited = append(s.visited, i)
+		return visit(i, c)
+	})
+}
+
+// TestShardSeeksRangeSource is the O(1)-seek contract at the sweep
+// layer: sharding a seekable source visits exactly the shard's window,
+// never the prefix below Lo, and still re-indexes from zero.
+func TestShardSeeksRangeSource(t *testing.T) {
+	ix, _ := enumerate.BuildIndex(6, 1)
+	src := &countingSource{RangeSource: sweep.ConnectedIndex(ix).(sweep.RangeSource)}
+	r := sweep.Range{Lo: 500, Hi: 520}
+	shard := sweep.Shard(src, r)
+	want := enumerate.Connected(6)
+	local := 0
+	shard.Each(func(i int, c config.Config) bool {
+		if i != local {
+			t.Fatalf("shard re-index: got %d, want %d", i, local)
+		}
+		if c.Compare(want[r.Lo+i]) != 0 {
+			t.Fatalf("shard pattern %d is %s, want global %d", i, c.Key(), r.Lo+i)
+		}
+		local++
+		return true
+	})
+	if local != r.Len() {
+		t.Fatalf("visited %d patterns, want %d", local, r.Len())
+	}
+	if len(src.visited) != r.Len() {
+		t.Fatalf("source decoded %d patterns for a %d-pattern shard — the seek scanned", len(src.visited), r.Len())
+	}
+	for k, i := range src.visited {
+		if i != r.Lo+k {
+			t.Fatalf("source visited global index %d, want %d", i, r.Lo+k)
+		}
+	}
+}
+
+// TestIndexSetSourceFor pins the substitution rule: right n → indexed
+// source, missing n or relaxed space or nil set → live enumeration.
+func TestIndexSetSourceFor(t *testing.T) {
+	ix, _ := enumerate.BuildIndex(6, 1)
+	var set sweep.IndexSet
+	set.Add(ix)
+	if src, ok := set.SourceFor(sweep.SpecDesc{N: 6}); !ok || src.Count() != enumerate.KnownCounts[6] {
+		t.Fatalf("SourceFor(n=6) = %v, %v; want the 814-pattern indexed source", src, ok)
+	}
+	if _, ok := set.SourceFor(sweep.SpecDesc{N: 7}); ok {
+		t.Fatal("SourceFor substituted an index for an uncovered n")
+	}
+	if _, ok := set.SourceFor(sweep.SpecDesc{N: 6, VisRange: 2}); ok {
+		t.Fatal("SourceFor substituted the connected index for a relaxed space")
+	}
+	var nilSet *sweep.IndexSet
+	if _, ok := nilSet.SourceFor(sweep.SpecDesc{N: 6}); ok {
+		t.Fatal("nil IndexSet substituted a source")
+	}
+}

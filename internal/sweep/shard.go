@@ -105,6 +105,15 @@ func (s *shardSource) Label() string { return fmt.Sprintf("%s[%s]", s.src.Label(
 func (s *shardSource) Count() int { return s.r.Len() }
 
 func (s *shardSource) Each(visit func(int, config.Config) bool) {
+	if rs, ok := s.src.(RangeSource); ok {
+		// Seekable source: start at Lo directly — for an indexed space
+		// this is O(1), the worker never touches patterns below its
+		// shard.
+		rs.EachRange(s.r, func(i int, c config.Config) bool {
+			return visit(i-s.r.Lo, c)
+		})
+		return
+	}
 	s.src.Each(func(i int, c config.Config) bool {
 		if i < s.r.Lo {
 			return true
@@ -121,7 +130,23 @@ func (s *shardSource) Each(visit func(int, config.Config) bool) {
 // the wire header and checkpoint files carry the digest of the whole
 // descriptor, so a coordinator/worker version skew is detected before a
 // single case is merged.
-const SpecDescVersion = 1
+//
+// Version history:
+//
+//	1: initial descriptor (N/Alg/Sched/Seeds/VisRange/MaxRounds).
+//	2: adds Order, the named canonical source order ("key/v1"). The
+//	   order itself is unchanged — the key-native engine reproduces
+//	   version 1's enumeration byte-identically — but the descriptor
+//	   now says so explicitly, so an artifact (checkpoint, pattern
+//	   index, shard stream) and a binary can prove they agree on what
+//	   "pattern i" means before any case merges.
+const SpecDescVersion = 2
+
+// OrderKeyV1 names the canonical source order: ascending packed-key
+// order (config.Key128 numeric order), which coincides with
+// config.Compare order. Pattern indexes carry the same declaration in
+// their header.
+const OrderKeyV1 = "key/v1"
 
 // SpecDesc is the serializable description of a sweep Spec — the part
 // of a Spec that can cross a process boundary. Closures (Goal, custom
@@ -151,6 +176,9 @@ type SpecDesc struct {
 	VisRange int `json:"range,omitempty"`
 	// MaxRounds bounds each run (0 = the engine default).
 	MaxRounds int `json:"max_rounds,omitempty"`
+	// Order names the canonical source order pattern indices refer to.
+	// Empty normalizes to OrderKeyV1, the only order defined.
+	Order string `json:"order,omitempty"`
 }
 
 // Normalize fills the defaults in place so that equivalent descriptors
@@ -174,6 +202,9 @@ func (d *SpecDesc) Normalize() {
 	if d.VisRange < 1 {
 		d.VisRange = 1
 	}
+	if d.Order == "" {
+		d.Order = OrderKeyV1
+	}
 }
 
 // Validate checks the descriptor resolves to a runnable sweep.
@@ -192,6 +223,9 @@ func (d SpecDesc) Validate() error {
 	}
 	if d.N < 1 {
 		return fmt.Errorf("sweep: invalid robot count %d", d.N)
+	}
+	if d.Order != OrderKeyV1 {
+		return fmt.Errorf("sweep: source order %q, this binary speaks %q", d.Order, OrderKeyV1)
 	}
 	return nil
 }
@@ -220,6 +254,14 @@ func (d SpecDesc) Meta() (Meta, error) {
 	if err != nil {
 		return Meta{}, err
 	}
+	return d.MetaFor(spec), nil
+}
+
+// MetaFor is Meta over an already-built Spec — the entry for callers
+// that substituted the source (SpecWith) and want the header and the
+// source to be the same object, so the Count paid here is the only one.
+func (d SpecDesc) MetaFor(spec Spec) Meta {
+	d.Normalize()
 	schedName := "fsync"
 	if spec.Scheduler != nil {
 		schedName = spec.Scheduler(1).Name()
@@ -233,7 +275,23 @@ func (d SpecDesc) Meta() (Meta, error) {
 		Source:    spec.Source.Label(),
 		Patterns:  spec.Source.Count(),
 		Schedules: d.Seeds,
-	}, nil
+	}
+}
+
+// SpecWith is Spec with the source served from a loaded pattern index
+// when set covers the descriptor's space (nil set or uncovered space
+// falls back to live enumeration). The substitution never changes what
+// the sweep computes — the index IS the enumeration, persisted — only
+// what it costs to start.
+func (d SpecDesc) SpecWith(set *IndexSet) (Spec, error) {
+	spec, err := d.Spec()
+	if err != nil {
+		return Spec{}, err
+	}
+	if src, ok := set.SourceFor(d); ok {
+		spec.Source = src
+	}
+	return spec, nil
 }
 
 // Spec rebuilds the runnable Spec the descriptor describes, with a

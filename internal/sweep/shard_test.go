@@ -104,7 +104,7 @@ func TestShardSourceWindow(t *testing.T) {
 
 func TestSpecDescDigestAndValidate(t *testing.T) {
 	d := sweep.SpecDesc{N: 8}
-	d2 := sweep.SpecDesc{Version: 1, N: 8, Alg: "full", Sched: "fsync", Seeds: 1, VisRange: 1}
+	d2 := sweep.SpecDesc{Version: sweep.SpecDescVersion, N: 8, Alg: "full", Sched: "fsync", Seeds: 1, VisRange: 1, Order: sweep.OrderKeyV1}
 	if d.Digest() != d2.Digest() {
 		t.Fatal("normalization-equal descs digest differently")
 	}
@@ -115,6 +115,10 @@ func TestSpecDescDigestAndValidate(t *testing.T) {
 		{N: 6, Sched: "adv"},
 		{N: 6, Alg: "no-such-alg"},
 		{N: 6, Version: 99},
+		// A version-1 artifact predates the Order declaration; a v2
+		// binary must refuse it loudly rather than guess.
+		{N: 6, Version: 1},
+		{N: 6, Order: "legacy"},
 	} {
 		b := bad
 		b.Normalize()
